@@ -1,0 +1,35 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark writes the human-readable table or series it regenerates to
+``benchmarks/results/`` (and echoes it through the ``record_table``
+fixture), so `pytest benchmarks/ --benchmark-only` leaves behind the same
+artefacts the paper reports -- Table 1 and the case-study matrix -- next to
+pytest-benchmark's own timing table.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_table(results_dir):
+    """Write a named text artefact and echo it to the terminal."""
+
+    def write(name: str, text: str) -> Path:
+        path = results_dir / name
+        path.write_text(text, encoding="utf-8")
+        print(f"\n--- {name} ---\n{text}")
+        return path
+
+    return write

@@ -1,0 +1,90 @@
+"""Ablation A (ours): checker cost versus program size.
+
+Two size knobs: the D2R BFS unrolling factor (longer apply blocks, the knob
+a real deployment turns to match the network diameter) and the number of
+match-action tables in a synthetic control block (which stresses
+T-TblDecl's key x action constraint checking).  The expected shape is
+roughly linear growth in the program size -- the analysis is a single pass
+over the AST plus a per-table quadratic term that stays small for realistic
+key/action counts.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.casestudies.d2r import d2r_source
+from repro.synth import wide_table_program
+from repro.tool.pipeline import check_source
+
+UNROLL_FACTORS = [1, 2, 4, 8, 16, 32]
+TABLE_COUNTS = [1, 2, 4, 8, 16]
+
+
+@pytest.mark.parametrize("steps", UNROLL_FACTORS)
+def test_d2r_unrolling(benchmark, steps):
+    source = d2r_source(secure=True, bfs_steps=steps)
+    report = benchmark(check_source, source)
+    assert report.ok
+
+
+@pytest.mark.parametrize("tables", TABLE_COUNTS)
+def test_wide_tables(benchmark, tables):
+    source = wide_table_program(tables=tables, actions_per_table=4, keys_per_table=2)
+    report = benchmark(check_source, source)
+    assert report.ok
+
+
+def _median_ms(source: str, repetitions: int = 7) -> float:
+    samples = []
+    for _ in range(repetitions):
+        start = time.perf_counter()
+        check_source(source)
+        samples.append((time.perf_counter() - start) * 1000.0)
+    samples.sort()
+    return samples[len(samples) // 2]
+
+
+def test_scaling_series(benchmark, record_table):
+    lines = ["Ablation A: full-pipeline checking time vs program size", ""]
+
+    def measure_both_series():
+        d2r = {}
+        for steps in UNROLL_FACTORS:
+            d2r[steps] = _median_ms(d2r_source(secure=True, bfs_steps=steps))
+        wide = {}
+        for tables in TABLE_COUNTS:
+            wide[tables] = _median_ms(
+                wide_table_program(tables=tables, actions_per_table=4, keys_per_table=2)
+            )
+        return d2r, wide
+
+    d2r_times, table_times = benchmark.pedantic(measure_both_series, rounds=1, iterations=1)
+
+    lines.append("D2R BFS unrolling (apply-block length):")
+    lines.append(f"{'steps':>8} {'source lines':>14} {'time (ms)':>12}")
+    for steps in UNROLL_FACTORS:
+        source = d2r_source(secure=True, bfs_steps=steps)
+        lines.append(
+            f"{steps:>8} {len(source.splitlines()):>14} {d2r_times[steps]:>12.2f}"
+        )
+
+    lines.append("")
+    lines.append("Synthetic wide control block (tables x 4 actions x 2 keys):")
+    lines.append(f"{'tables':>8} {'source lines':>14} {'time (ms)':>12}")
+    for tables in TABLE_COUNTS:
+        source = wide_table_program(tables=tables, actions_per_table=4, keys_per_table=2)
+        lines.append(
+            f"{tables:>8} {len(source.splitlines()):>14} {table_times[tables]:>12.2f}"
+        )
+
+    record_table("ablation_program_size.txt", "\n".join(lines))
+
+    # Shape: growth stays near-linear -- a 32x larger apply block should not
+    # cost more than ~96x (3x slack over linear), and must cost more than 1x.
+    assert d2r_times[32] > d2r_times[1]
+    assert d2r_times[32] < d2r_times[1] * 96
+    assert table_times[16] > table_times[1]
+    assert table_times[16] < table_times[1] * 48

@@ -1,0 +1,59 @@
+"""The case-study accept/reject matrix of Section 5.
+
+Not a numbered table in the paper, but its central qualitative claim: P4BID
+rejects every insecure variant (flagging the leak the text describes) and
+certifies every secure variant.  The benchmark times the full pipeline on
+each variant and regenerates the matrix as a text artefact.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.casestudies import all_case_studies
+from repro.tool.pipeline import check_source
+
+CASES = all_case_studies()
+
+
+@pytest.mark.parametrize("case", CASES, ids=[c.name for c in CASES])
+@pytest.mark.parametrize("variant", ["secure", "insecure"])
+def test_check_case_study(benchmark, case, variant):
+    source = case.secure_source if variant == "secure" else case.insecure_source
+    report = benchmark(check_source, source, case.lattice_name)
+    if variant == "secure":
+        assert report.ok
+    else:
+        assert not report.ok
+        assert report.ifc_diagnostics
+
+
+def test_case_study_matrix(benchmark, record_table):
+    lines = [
+        "Case-study matrix (Section 5): verdict of P4BID per program variant",
+        f"{'program':<10} {'section':<8} {'lattice':<10} {'secure':<10} "
+        f"{'insecure':<10} {'violation kinds (insecure)'}",
+    ]
+
+    def check_all():
+        return [
+            (
+                case,
+                check_source(case.secure_source, case.lattice_name),
+                check_source(case.insecure_source, case.lattice_name),
+            )
+            for case in CASES
+        ]
+
+    for case, secure, insecure in benchmark.pedantic(check_all, rounds=1, iterations=1):
+        kinds = sorted({d.kind.value for d in insecure.ifc_diagnostics})
+        lines.append(
+            f"{case.name:<10} {case.section:<8} {case.lattice_name:<10} "
+            f"{'accepted' if secure.ok else 'REJECTED':<10} "
+            f"{'rejected' if not insecure.ok else 'ACCEPTED':<10} {', '.join(kinds)}"
+        )
+        assert secure.ok, case.name
+        assert not insecure.ok, case.name
+        for expected in case.expected_violations:
+            assert expected.value in kinds, (case.name, expected.value, kinds)
+    record_table("case_study_matrix.txt", "\n".join(lines))

@@ -1,0 +1,114 @@
+"""Table 1: typechecking time for the five case-study programs.
+
+The paper reports, per program, the time p4c takes on the unannotated
+program and the time P4BID takes on the annotated (secure) program, plus
+the average; the headline result is a small constant overhead (~5 % / 30 ms
+on the authors' machine).
+
+Here the "p4c baseline" is our parse + ordinary Core P4 type check, and the
+"P4BID" column additionally runs the IFC checker.  Absolute numbers are not
+comparable to the paper (Python vs C++), but the *shape* -- each annotated
+check costs only a modest constant factor more than the unannotated check,
+for every row and on average -- is what the benchmark regenerates.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+import pytest
+
+from repro.casestudies import table1_case_studies
+from repro.tool.pipeline import check_source
+
+CASES = {case.name: case for case in table1_case_studies()}
+#: Paper row labels, mapped to our registry names.
+ROW_LABELS = [
+    ("D2R", "d2r"),
+    ("App", "app"),
+    ("Lattice", "lattice"),
+    ("Topology", "topology"),
+    ("Cache", "cache"),
+]
+
+
+def _check_unannotated(case):
+    return check_source(case.unannotated_source, case.lattice_name, include_ifc=False)
+
+
+def _check_annotated(case):
+    return check_source(case.secure_source, case.lattice_name, include_ifc=True)
+
+
+@pytest.mark.parametrize("row,name", ROW_LABELS, ids=[r for r, _ in ROW_LABELS])
+def test_unannotated_baseline(benchmark, row, name):
+    """Column 'Unannotated, p4c': parse + ordinary type check."""
+    case = CASES[name]
+    report = benchmark(_check_unannotated, case)
+    assert report.ok
+
+
+@pytest.mark.parametrize("row,name", ROW_LABELS, ids=[r for r, _ in ROW_LABELS])
+def test_annotated_p4bid(benchmark, row, name):
+    """Column 'Annotated, P4BID': parse + ordinary + IFC type check."""
+    case = CASES[name]
+    report = benchmark(_check_annotated, case)
+    assert report.ok
+
+
+def _measure_ms(fn, case, repetitions: int = 15) -> float:
+    """Median wall-clock milliseconds of ``fn(case)`` over ``repetitions``."""
+    samples = []
+    for _ in range(repetitions):
+        start = time.perf_counter()
+        fn(case)
+        samples.append((time.perf_counter() - start) * 1000.0)
+    return statistics.median(samples)
+
+
+def test_table1_rows(benchmark, record_table):
+    """Regenerate Table 1 (our numbers) and check its qualitative shape."""
+
+    def measure_all_rows():
+        measured = []
+        for label, name in ROW_LABELS:
+            case = CASES[name]
+            unannotated_ms = _measure_ms(_check_unannotated, case)
+            annotated_ms = _measure_ms(_check_annotated, case)
+            measured.append((label, unannotated_ms, annotated_ms))
+        return measured
+
+    rows = benchmark.pedantic(measure_all_rows, rounds=1, iterations=1)
+
+    average_unannotated = statistics.mean(r[1] for r in rows)
+    average_annotated = statistics.mean(r[2] for r in rows)
+    overhead_pct = 100.0 * (average_annotated - average_unannotated) / average_unannotated
+
+    lines = [
+        "Table 1: typechecking time in milliseconds (this reproduction)",
+        f"{'Program':<10} {'Unannotated (core)':>20} {'Annotated (P4BID)':>20}",
+    ]
+    for label, unannotated_ms, annotated_ms in rows:
+        lines.append(f"{label:<10} {unannotated_ms:>20.2f} {annotated_ms:>20.2f}")
+    lines.append(
+        f"{'Average':<10} {average_unannotated:>20.2f} {average_annotated:>20.2f}"
+    )
+    lines.append(f"Average overhead of the security pass: {overhead_pct:.1f}%")
+    lines.append(
+        "Paper (Table 1): 543 ms vs 573 ms on average, ~5% overhead; the shape to "
+        "match is a small constant overhead per row, not the absolute numbers."
+    )
+    record_table("table1_typecheck_time.txt", "\n".join(lines))
+
+    # Shape assertions: the security pass stays a modest constant factor on
+    # every row (the paper's qualitative claim).  Per-row lower bounds are
+    # deliberately loose -- parsing dominates both columns and its timing
+    # noise can make a single annotated run come out marginally faster.
+    for label, unannotated_ms, annotated_ms in rows:
+        assert annotated_ms <= unannotated_ms * 3.0, (
+            f"{label}: security checking should be a modest overhead, got "
+            f"{unannotated_ms:.2f} -> {annotated_ms:.2f} ms"
+        )
+    assert average_annotated >= average_unannotated * 0.8
+    assert -25.0 <= overhead_pct <= 150.0

@@ -1,0 +1,81 @@
+"""Going beyond the paper's lattices: multi-level clearances and principals.
+
+The type system is parametric in the security lattice.  This example checks
+the same telemetry-aggregation program against
+
+* a four-level clearance chain ``unclassified ⊑ confidential ⊑ secret ⊑ topsecret``,
+* a powerset lattice over three tenants (the generalisation of Figure 8b
+  the paper sketches at the end of Section 5.4).
+
+Run with::
+
+    python examples/custom_lattice_clearances.py
+"""
+
+from repro.lattice import ChainLattice, PowersetLattice
+from repro.tool.pipeline import check_source
+
+CLEARANCE_PROGRAM = """
+header report_t {
+    <bit<32>, unclassified> packet_count;
+    <bit<32>, confidential> flow_count;
+    <bit<32>, secret>       incident_count;
+    <bit<32>, topsecret>    source_id;
+}
+
+struct headers { report_t report; }
+
+control Aggregate(inout headers hdr) {
+    apply {
+        // Allowed: information only flows upwards in the clearance chain.
+        hdr.report.flow_count = hdr.report.flow_count + hdr.report.packet_count;
+        hdr.report.incident_count = hdr.report.incident_count + hdr.report.flow_count;
+        // BUG (flagged): a secret count must not reach the unclassified field.
+        hdr.report.packet_count = hdr.report.incident_count;
+    }
+}
+"""
+
+TENANT_PROGRAM = """
+header tenants_t {
+    <bit<32>, {carol}>        carol_data;
+    <bit<32>, {dave}>         dave_data;
+    <bit<32>, {carol, dave}>  shared_billing;
+    <bit<32>, bot>            route;
+}
+
+struct headers { tenants_t t; }
+
+control Billing(inout headers hdr) {
+    apply {
+        // Carol's usage may flow into the shared billing aggregate...
+        hdr.t.shared_billing = hdr.t.shared_billing + hdr.t.carol_data;
+        // ...but not into Dave's private field.
+        hdr.t.dave_data = hdr.t.carol_data;
+    }
+}
+"""
+
+
+def main() -> None:
+    clearances = ChainLattice(
+        ["unclassified", "confidential", "secret", "topsecret"], name="clearances"
+    )
+    clearances.validate()
+    print("=== four-level clearance chain ===")
+    report = check_source(CLEARANCE_PROGRAM, clearances, name="clearance-report")
+    for diag in report.ifc_diagnostics:
+        print(" ", diag)
+    assert len(report.ifc_diagnostics) == 1, "exactly the downgrade should be flagged"
+
+    print("\n=== three-principal powerset lattice ===")
+    tenants = PowersetLattice(["carol", "dave", "erin"], name="tenants")
+    report = check_source(TENANT_PROGRAM, tenants, name="tenant-billing")
+    for diag in report.ifc_diagnostics:
+        print(" ", diag)
+    assert len(report.ifc_diagnostics) == 1, "exactly the cross-tenant write should be flagged"
+    print("\nBoth policies were enforced by the same type system, only the lattice changed.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""The case-study programs of Section 5 (and Table 1).
+
+Each case study comes in a *secure* variant (accepted by P4BID), an
+*insecure* variant (rejected, exhibiting the leak the paper describes), and
+an *unannotated* variant (the p4c baseline of Table 1, obtained by
+stripping the security annotations from the secure program).  Each also
+provides a control plane so the programs can be executed by the
+interpreter and fed to the non-interference harness.
+"""
+
+from repro.casestudies.base import CaseStudy, strip_security_annotations
+from repro.casestudies.topology import topology_case_study
+from repro.casestudies.d2r import d2r_case_study, d2r_source
+from repro.casestudies.cache import cache_case_study
+from repro.casestudies.resource_allocation import resource_allocation_case_study
+from repro.casestudies.isolation import isolation_case_study
+from repro.casestudies.netchain import netchain_case_study
+from repro.casestudies.registry import (
+    all_case_studies,
+    get_case_study,
+    table1_case_studies,
+)
+
+__all__ = [
+    "CaseStudy",
+    "strip_security_annotations",
+    "topology_case_study",
+    "d2r_case_study",
+    "d2r_source",
+    "cache_case_study",
+    "resource_allocation_case_study",
+    "isolation_case_study",
+    "netchain_case_study",
+    "all_case_studies",
+    "get_case_study",
+    "table1_case_studies",
+]

@@ -1,0 +1,71 @@
+"""Common infrastructure for the case studies."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Tuple
+
+from repro.ifc.errors import ViolationKind
+from repro.semantics.control_plane import ControlPlane
+
+#: Matches a security annotation ``<type, label>`` where the type may itself
+#: contain one level of angle brackets (``bit<32>``); used to produce the
+#: unannotated (plain p4c) variant of a program.
+_ANNOTATION_RE = re.compile(
+    r"<\s*((?:bit|int)\s*<\s*\d+\s*>|bool|int|void|\w+)\s*,\s*[^<>]+?>"
+)
+
+#: Matches the ``@pc(label)`` control annotation.
+_PC_RE = re.compile(r"@pc\([^)]*\)\s*")
+
+
+def strip_security_annotations(source: str) -> str:
+    """Remove every security annotation, yielding a plain (p4c-style) program."""
+    stripped = _ANNOTATION_RE.sub(lambda m: m.group(1), source)
+    return _PC_RE.sub("", stripped)
+
+
+@dataclass
+class CaseStudy:
+    """One case study: its programs, lattice, and execution harness."""
+
+    #: Short key used by the registry and the Table 1 benchmark rows.
+    name: str
+    #: Human readable title (matches the paper's section heading).
+    title: str
+    #: Paper section the case study comes from.
+    section: str
+    #: One paragraph describing the scenario and the leak.
+    description: str
+    #: Name of the lattice the programs are checked against.
+    lattice_name: str
+    #: Source of the variant accepted by P4BID.
+    secure_source: str
+    #: Source of the variant rejected by P4BID.
+    insecure_source: str
+    #: Violation kinds the insecure variant is expected to trigger.
+    expected_violations: Tuple[ViolationKind, ...] = ()
+    #: Builds the control plane used to execute the programs.
+    control_plane_factory: Callable[[], ControlPlane] = ControlPlane
+    #: Controls to check / run (None means every control in the program).
+    control_names: Optional[Tuple[str, ...]] = None
+    #: Observation level for the differential NI harness (None = lattice ⊥).
+    #: The isolation study needs a tenant-level observer (Bob) to witness
+    #: Alice's misbehaviour, since nothing is labelled below the tenants.
+    ni_observation_level: Optional[str] = None
+    #: Whether the differential NI harness can observe the insecure leak
+    #: (False when the secret lives only in the control plane, which is held
+    #: fixed across the two runs -- e.g. the Topology example).
+    leak_observable_differentially: bool = True
+    #: Extra notes rendered into EXPERIMENTS.md.
+    notes: str = ""
+
+    @property
+    def unannotated_source(self) -> str:
+        """The plain (label-free) program used as the p4c baseline in Table 1."""
+        return strip_security_annotations(self.secure_source)
+
+    def control_plane(self) -> ControlPlane:
+        """A fresh control plane instance for executing the programs."""
+        return self.control_plane_factory()

@@ -1,0 +1,120 @@
+"""In-network caching with a timing side channel (Section 5.2, Listing 4).
+
+A key-value store keeps hot items directly on the switch.  Whether a
+request is served from the switch (fast) or from the controller (slow) is
+observable to a timing-sensitive adversary; the program models that
+observation with a ``hit`` flag in the response header.
+
+The query is secret.  The table matches on the query and the invoked
+actions write the publicly observable ``hit`` flag, so the match leaks one
+bit of the query -- an indirect leak through the table key, which T-TblDecl
+rejects.  The secure variant labels the adversary-visible response fields
+``high`` as well (the operator decides the cache's hit pattern may only be
+revealed to high observers), which type checks.
+"""
+
+from __future__ import annotations
+
+from repro.casestudies.base import CaseStudy
+from repro.ifc.errors import ViolationKind
+from repro.semantics.control_plane import ControlPlane, TernaryMatch, TableEntry
+from repro.semantics.values import IntValue
+
+_INSECURE = """
+// Listing 4: in-network cache with an observable hit flag (insecure).
+header request_t  { <bit<8>, high> query; }
+header response_t { <bit<1>, low> hit; <bit<32>, low> value; }
+header eth_t      { <bit<48>, low> srcAddr; <bit<48>, low> dstAddr; }
+
+struct headers {
+    request_t req;
+    response_t resp;
+    eth_t eth;
+}
+
+control Cache_Ingress(inout headers hdr) {
+    action cache_hit(<bit<32>, low> value) {
+        hdr.resp.value = value;
+        hdr.resp.hit = 1;
+    }
+    action cache_miss() {
+        hdr.resp.hit = 0;
+    }
+    table fetch_from_cache {
+        key = { hdr.req.query: exact; }
+        actions = { cache_hit; cache_miss; }
+    }
+    apply {
+        fetch_from_cache.apply();
+    }
+}
+"""
+
+_SECURE = """
+// In-network cache, secure variant: the hit/value response fields are only
+// visible to high observers, so matching on the secret query is allowed.
+header request_t  { <bit<8>, high> query; }
+header response_t { <bit<1>, high> hit; <bit<32>, high> value; }
+header eth_t      { <bit<48>, low> srcAddr; <bit<48>, low> dstAddr; }
+
+struct headers {
+    request_t req;
+    response_t resp;
+    eth_t eth;
+}
+
+control Cache_Ingress(inout headers hdr) {
+    action cache_hit(<bit<32>, high> value) {
+        hdr.resp.value = value;
+        hdr.resp.hit = 1;
+    }
+    action cache_miss() {
+        hdr.resp.hit = 0;
+    }
+    table fetch_from_cache {
+        key = { hdr.req.query: exact; }
+        actions = { cache_hit; cache_miss; }
+    }
+    apply {
+        fetch_from_cache.apply();
+    }
+}
+"""
+
+
+def _control_plane() -> ControlPlane:
+    plane = ControlPlane()
+    # Even queries are cached (hit), odd queries go to the controller (miss):
+    # a ternary entry on the least significant bit keeps the hit rate at 50%
+    # whatever the query distribution, so the differential harness observes
+    # the leak quickly.
+    plane.add_entry(
+        "fetch_from_cache",
+        TableEntry(
+            patterns=(TernaryMatch(0, 1),),
+            action="cache_hit",
+            action_args=(("value", IntValue(0xDEADBEEF, 32)),),
+        ),
+    )
+    plane.set_default_action("fetch_from_cache", "cache_miss")
+    return plane
+
+
+def cache_case_study() -> CaseStudy:
+    """The Cache row of Table 1 (Section 5.2)."""
+    return CaseStudy(
+        name="cache",
+        title="In-network caching (timing side channel)",
+        section="5.2",
+        description=(
+            "A switch-resident cache answers hot queries locally; whether a "
+            "request hit the cache is timing-observable, modelled as a public "
+            "hit flag.  Matching on the secret query to set that flag is an "
+            "indirect leak through the table key."
+        ),
+        lattice_name="two-point",
+        secure_source=_SECURE,
+        insecure_source=_INSECURE,
+        expected_violations=(ViolationKind.TABLE_KEY_FLOW,),
+        control_plane_factory=_control_plane,
+    )

@@ -1,0 +1,166 @@
+"""D2R: dataplane routing with priorities (Section 5.1, Listing 3).
+
+D2R performs routing entirely in the data plane: each switch carries BFS
+bookkeeping in a ``bfs_t`` header and repeatedly applies a ``bfs_step``
+table (the loop is unrolled, since P4 has no loops) until the search
+reaches the destination, at which point the ``forward`` table forwards the
+packet.
+
+The paper's extension assigns higher priority to packets that encountered
+more link failures.  The number of failures is derived from
+``hdr.bfs.num_hops``, which is secret (it reveals how unreliable a private
+network's links are).  The insecure variant branches on the failure count
+inside the forwarding action and writes the public ``ipv4.priority`` field
+-- an indirect leak.  The secure variant derives the priority only from the
+public count of tried links.
+"""
+
+from __future__ import annotations
+
+from repro.casestudies.base import CaseStudy
+from repro.ifc.errors import ViolationKind
+from repro.semantics.control_plane import ControlPlane, TableEntry, Wildcard
+from repro.semantics.values import IntValue
+
+_HEADERS = """
+// D2R: data-plane routing with priorities (Listing 3).
+header bfs_t {
+    <bit<32>, low>  curr;
+    <bit<32>, low>  next_node;
+    <bit<32>, low>  tried_links;
+    <bit<32>, high> num_hops;
+}
+
+header ipv4_t {
+    <bit<3>, low>  priority;
+    <bit<8>, low>  ttl;
+    <bit<32>, low> dstAddr;
+}
+
+struct headers {
+    bfs_t bfs;
+    ipv4_t ipv4;
+}
+"""
+
+_INSECURE_ACTIONS = """
+    // number of failed links: tried links minus successfully traversed hops
+    <bit<32>, high> failures = hdr.bfs.tried_links - hdr.bfs.num_hops;
+
+    action NoAction() { }
+    action bfs_advance(<bit<32>, low> next_node) {
+        hdr.bfs.curr = hdr.bfs.next_node;
+        hdr.bfs.next_node = next_node;
+        hdr.bfs.tried_links = hdr.bfs.tried_links + 1;
+    }
+    table bfs_step {
+        key = { hdr.bfs.curr: exact; }
+        actions = { bfs_advance; NoAction; }
+    }
+    action forwarding(in <bit<32>, high> failures) {
+        if (failures >= 2) {
+            hdr.ipv4.priority = 7;   // Leak: low <- branch on high
+        } else {
+            hdr.ipv4.priority = 1;   // Leak: low <- branch on high
+        }
+        hdr.ipv4.ttl = hdr.ipv4.ttl - 1;
+    }
+    table forward {
+        key = { hdr.bfs.next_node: exact; }
+        actions = { forwarding(failures); NoAction; }
+    }
+"""
+
+_SECURE_ACTIONS = """
+    // priority is computed from the (public) number of tried links only
+    <bit<32>, low> tried = hdr.bfs.tried_links;
+
+    action NoAction() { }
+    action bfs_advance(<bit<32>, low> next_node) {
+        hdr.bfs.curr = hdr.bfs.next_node;
+        hdr.bfs.next_node = next_node;
+        hdr.bfs.tried_links = hdr.bfs.tried_links + 1;
+    }
+    table bfs_step {
+        key = { hdr.bfs.curr: exact; }
+        actions = { bfs_advance; NoAction; }
+    }
+    action forwarding(in <bit<32>, low> tried) {
+        if (tried >= 2) {
+            hdr.ipv4.priority = 7;
+        } else {
+            hdr.ipv4.priority = 1;
+        }
+        hdr.ipv4.ttl = hdr.ipv4.ttl - 1;
+    }
+    table forward {
+        key = { hdr.bfs.next_node: exact; }
+        actions = { forwarding(tried); NoAction; }
+    }
+"""
+
+_APPLY_STEP = """
+        if (hdr.bfs.curr != hdr.ipv4.dstAddr) {
+            bfs_step.apply();
+        } else {
+            forward.apply();
+        }
+"""
+
+
+def d2r_source(*, secure: bool, bfs_steps: int = 2) -> str:
+    """Build the D2R program with ``bfs_steps`` unrolled BFS iterations.
+
+    The unrolling factor is the knob used by the scaling ablation benchmark:
+    larger values produce longer apply blocks (as a real D2R deployment
+    would unroll to the network diameter).
+    """
+    actions = _SECURE_ACTIONS if secure else _INSECURE_ACTIONS
+    body = _APPLY_STEP * max(1, bfs_steps)
+    return (
+        _HEADERS
+        + "\ncontrol D2R_Ingress(inout headers hdr) {\n"
+        + actions
+        + "    apply {\n"
+        + body
+        + "    }\n}\n"
+    )
+
+
+def _control_plane() -> ControlPlane:
+    plane = ControlPlane()
+    # BFS steps: advance node 1 -> 2 -> 3; destination is node 3.
+    plane.add_exact_entry("bfs_step", [1], "bfs_advance", {"next_node": IntValue(2, 32)})
+    plane.add_exact_entry("bfs_step", [2], "bfs_advance", {"next_node": IntValue(3, 32)})
+    plane.set_default_action("bfs_step", "NoAction")
+    # Forwarding matches any next_node.
+    plane.add_entry("forward", TableEntry((Wildcard(),), "forwarding"))
+    plane.set_default_action("forward", "forwarding")
+    return plane
+
+
+def d2r_case_study(bfs_steps: int = 2) -> CaseStudy:
+    """The D2R row of Table 1 (Section 5.1)."""
+    return CaseStudy(
+        name="d2r",
+        title="Dataplane routing with priorities (D2R)",
+        section="5.1",
+        description=(
+            "In-switch BFS routing that prioritises packets which saw many link "
+            "failures; the failure count is derived from the secret num_hops "
+            "field, so using it to set the public priority is an indirect leak."
+        ),
+        lattice_name="two-point",
+        secure_source=d2r_source(secure=True, bfs_steps=bfs_steps),
+        insecure_source=d2r_source(secure=False, bfs_steps=bfs_steps),
+        expected_violations=(ViolationKind.IMPLICIT_FLOW,),
+        control_plane_factory=_control_plane,
+        leak_observable_differentially=False,
+        notes=(
+            "The secret (num_hops) arrives in the packet, so the leak is "
+            "observable through ipv4.priority -- but only on packets whose BFS "
+            "has already reached the destination (curr == dstAddr), which random "
+            "inputs rarely satisfy.  The test-suite exhibits the leak with a "
+            "directed input pair instead of the random harness."
+        ),
+    )

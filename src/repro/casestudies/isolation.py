@@ -1,0 +1,147 @@
+"""Network isolation with the diamond lattice (Section 5.4, Listings 6/7).
+
+Two tenants, Alice and Bob, run dataplane programs on separate switches of
+a shared private network.  Packets carry fields for each tenant plus
+in-band telemetry and pre-configured routing data.  Labels come from the
+four-point diamond lattice of Figure 8b:
+
+* ``A`` -- Alice's fields, ``B`` -- Bob's fields,
+* ``top`` -- telemetry (anyone may add to it, nobody below may read it),
+* ``bot`` -- globally visible routing data.
+
+Alice's control block is type checked under ``pc = A`` and Bob's under
+``pc = B`` (the ``@pc(...)`` annotation), so each tenant can only write
+fields at or above their own label.  The insecure variant has Alice writing
+Bob's field and keying a table on telemetry; the secure variant (Listing 7)
+only touches Alice's own field.
+"""
+
+from __future__ import annotations
+
+from repro.casestudies.base import CaseStudy
+from repro.ifc.errors import ViolationKind
+from repro.semantics.control_plane import ControlPlane, TernaryMatch, TableEntry
+
+_TYPES = """
+header alice_t { <bit<32>, A> data; <bit<8>, A> tag; }
+header bob_t   { <bit<32>, B> data; <bit<8>, B> tag; }
+header telem_t { <bit<32>, top> counter; }
+header eth_t   { <bit<48>, bot> srcAddr; <bit<48>, bot> dstAddr; }
+
+struct headers {
+    alice_t alice_data;
+    bob_t bob_data;
+    telem_t telem;
+    eth_t eth;
+}
+"""
+
+_INSECURE = _TYPES + """
+// Listing 6: Alice's switch touches Bob's data and reads telemetry (insecure).
+@pc(A)
+control Alice_Ingress(inout headers hdr) {
+    action set_by_alice(<bit<32>, A> value) {
+        // Error: should not have written to Bob's field
+        hdr.bob_data.data = value;
+    }
+    table update_by_alice {
+        // Error: should not have used the telemetry field as a key
+        key = { hdr.telem.counter: exact; }
+        actions = { set_by_alice; }
+    }
+    apply {
+        update_by_alice.apply();
+    }
+}
+
+@pc(B)
+control Bob_Ingress(inout headers hdr) {
+    action set_by_bob() {
+        // Allowed: accumulate telemetry using telemetry
+        hdr.telem.counter = hdr.telem.counter + 1;
+    }
+    action NoAction() { }
+    table update_by_bob {
+        key = { hdr.eth.dstAddr: exact; }
+        actions = { set_by_bob; NoAction; }
+    }
+    apply {
+        update_by_bob.apply();
+    }
+}
+"""
+
+_SECURE = _TYPES + """
+// Listing 7: each tenant only touches its own fields (secure).
+@pc(A)
+control Alice_Ingress(inout headers hdr) {
+    action set_by_alice(<bit<32>, A> value) {
+        hdr.alice_data.data = value;
+    }
+    table update_by_alice {
+        key = { hdr.alice_data.tag: exact; }
+        actions = { set_by_alice; }
+    }
+    apply {
+        update_by_alice.apply();
+    }
+}
+
+@pc(B)
+control Bob_Ingress(inout headers hdr) {
+    action set_by_bob() {
+        // Allowed: accumulate telemetry using telemetry
+        hdr.telem.counter = hdr.telem.counter + 1;
+    }
+    action NoAction() { }
+    table update_by_bob {
+        key = { hdr.eth.dstAddr: exact; }
+        actions = { set_by_bob; NoAction; }
+    }
+    apply {
+        update_by_bob.apply();
+    }
+}
+"""
+
+
+def _control_plane() -> ControlPlane:
+    plane = ControlPlane()
+    # Alice's table fires on every other key value so the two runs of the
+    # differential harness are likely to disagree on whether it fires.
+    alice_entry = TableEntry(patterns=(TernaryMatch(0, 1),), action="set_by_alice")
+    plane.add_entry("update_by_alice", alice_entry)
+    bob_entry = TableEntry(patterns=(TernaryMatch(0, 1),), action="set_by_bob")
+    plane.add_entry("update_by_bob", bob_entry)
+    plane.set_default_action("update_by_bob", "NoAction")
+    return plane
+
+
+def isolation_case_study() -> CaseStudy:
+    """The Lattice row of Table 1 (Section 5.4)."""
+    return CaseStudy(
+        name="lattice",
+        title="Network isolation and telemetry (diamond lattice)",
+        section="5.4",
+        description=(
+            "Alice and Bob share a private network; a four-point diamond lattice "
+            "isolates their header fields from each other while letting both add "
+            "to write-only telemetry and read shared routing data."
+        ),
+        lattice_name="diamond",
+        secure_source=_SECURE,
+        insecure_source=_INSECURE,
+        expected_violations=(
+            ViolationKind.EXPLICIT_FLOW,
+            ViolationKind.TABLE_KEY_FLOW,
+        ),
+        control_plane_factory=_control_plane,
+        control_names=("Alice_Ingress", "Bob_Ingress"),
+        ni_observation_level="B",
+        notes=(
+            "The insecure variant is rejected for two reasons, exactly as the "
+            "paper describes: Alice writes Bob's field (A -> B is not allowed in "
+            "the diamond) and keys a table on top-labelled telemetry while its "
+            "action writes below top."
+        ),
+    )

@@ -1,0 +1,114 @@
+"""NetChain role leakage (mentioned at the end of Section 5.1).
+
+NetChain implements chain replication for a key-value store directly on
+switches.  Each switch is assigned a role (head, internal, tail) which
+determines, among other things, whether it emits a reply.  If the role is
+considered secret topological information, making the externally visible
+reply decision depend on it is an implicit leak, which is what the paper
+reports finding when instrumenting NetChain with a ``high`` label on the
+role field.
+
+The secure variant bases the reply decision on the (public) destination
+address of the request instead, e.g. replying exactly when the switch owns
+the queried key range.
+"""
+
+from __future__ import annotations
+
+from repro.casestudies.base import CaseStudy
+from repro.ifc.errors import ViolationKind
+from repro.semantics.control_plane import ControlPlane
+
+_INSECURE = """
+// NetChain-style chain replication: the reply decision leaks the switch role.
+header chain_t {
+    <bit<8>, high> role;
+    <bit<16>, low> seq;
+}
+header kv_t {
+    <bit<32>, low> query_key;
+    <bit<32>, low> value;
+    <bit<1>, low>  reply_sent;
+}
+
+struct headers {
+    chain_t chain;
+    kv_t kv;
+}
+
+control NetChain_Ingress(inout headers hdr) {
+    action mark_reply() {
+        hdr.kv.reply_sent = 1;
+    }
+    action forward_along_chain() {
+        hdr.chain.seq = hdr.chain.seq + 1;
+    }
+    apply {
+        if (hdr.chain.role == 2) {
+            // BUG: the tail role (secret) decides the visible reply flag
+            mark_reply();
+        } else {
+            forward_along_chain();
+        }
+    }
+}
+"""
+
+_SECURE = """
+// NetChain-style chain replication: reply decided from public data (secure).
+header chain_t {
+    <bit<8>, high> role;
+    <bit<16>, low> seq;
+}
+header kv_t {
+    <bit<32>, low> query_key;
+    <bit<32>, low> value;
+    <bit<1>, low>  reply_sent;
+    <bit<32>, low> owned_range_end;
+}
+
+struct headers {
+    chain_t chain;
+    kv_t kv;
+}
+
+control NetChain_Ingress(inout headers hdr) {
+    action mark_reply() {
+        hdr.kv.reply_sent = 1;
+    }
+    action forward_along_chain() {
+        hdr.chain.seq = hdr.chain.seq + 1;
+    }
+    apply {
+        if (hdr.kv.query_key <= hdr.kv.owned_range_end) {
+            mark_reply();
+        } else {
+            forward_along_chain();
+        }
+    }
+}
+"""
+
+
+def netchain_case_study() -> CaseStudy:
+    """The NetChain example (not a Table 1 row, but discussed in Section 5.1)."""
+    return CaseStudy(
+        name="netchain",
+        title="NetChain role confidentiality",
+        section="5.1",
+        description=(
+            "Chain replication on switches assigns each node a role; if the role "
+            "is secret topological information, deciding whether to emit a reply "
+            "based on it leaks the role to external observers."
+        ),
+        lattice_name="two-point",
+        secure_source=_SECURE,
+        insecure_source=_INSECURE,
+        expected_violations=(ViolationKind.CALL_CONTEXT,),
+        control_plane_factory=ControlPlane,
+        notes=(
+            "The leak is an implicit flow through a branch on the secret role; "
+            "because the branch invokes an action that writes a low field, the "
+            "checker reports it as a call in a high context."
+        ),
+    )

@@ -1,0 +1,48 @@
+"""Registry of the case studies, keyed by their Table 1 row names."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.casestudies.base import CaseStudy
+from repro.casestudies.cache import cache_case_study
+from repro.casestudies.d2r import d2r_case_study
+from repro.casestudies.isolation import isolation_case_study
+from repro.casestudies.netchain import netchain_case_study
+from repro.casestudies.resource_allocation import resource_allocation_case_study
+from repro.casestudies.topology import topology_case_study
+
+_FACTORIES: Dict[str, Callable[[], CaseStudy]] = {
+    "d2r": d2r_case_study,
+    "app": resource_allocation_case_study,
+    "lattice": isolation_case_study,
+    "topology": topology_case_study,
+    "cache": cache_case_study,
+    "netchain": netchain_case_study,
+}
+
+#: The five programs measured in Table 1, in the paper's row order.
+TABLE1_ORDER = ("d2r", "app", "lattice", "topology", "cache")
+
+
+def all_case_studies() -> List[CaseStudy]:
+    """Every case study, Table 1 rows first."""
+    ordered = list(TABLE1_ORDER) + [
+        name for name in _FACTORIES if name not in TABLE1_ORDER
+    ]
+    return [_FACTORIES[name]() for name in ordered]
+
+
+def table1_case_studies() -> List[CaseStudy]:
+    """The five case studies whose checking time Table 1 reports."""
+    return [_FACTORIES[name]() for name in TABLE1_ORDER]
+
+
+def get_case_study(name: str) -> CaseStudy:
+    """Look up a case study by its registry name (case-insensitive)."""
+    key = name.strip().lower()
+    if key not in _FACTORIES:
+        raise KeyError(
+            f"unknown case study {name!r}; available: {', '.join(sorted(_FACTORIES))}"
+        )
+    return _FACTORIES[key]()

@@ -1,0 +1,114 @@
+"""Preventing manipulation in resource allocation (Section 5.3, Listing 5).
+
+A gateway switch raises the priority of packets belonging to
+latency-sensitive applications.  Reading the labels as integrity
+(``high`` = untrusted, ``low`` = trusted): the client-supplied application
+identifier is untrusted, while the priority field the network acts on is
+trusted.  The insecure variant selects the priority by matching on the
+untrusted ``appID``, letting a malicious client inflate its own priority;
+the secure variant matches on the destination address instead, which a
+client cannot forge without losing its own traffic.
+"""
+
+from __future__ import annotations
+
+from repro.casestudies.base import CaseStudy
+from repro.ifc.errors import ViolationKind
+from repro.semantics.control_plane import ControlPlane, TernaryMatch, TableEntry
+from repro.semantics.values import IntValue
+
+_INSECURE = """
+// Listing 5: resource allocation keyed on the untrusted application ID (insecure).
+header app_t  { <bit<8>, high> appID; }
+header ipv4_t {
+    <bit<32>, low> dstAddr;
+    <bit<3>, low>  priority;
+    <bit<8>, low>  ttl;
+}
+
+struct headers {
+    app_t app;
+    ipv4_t ipv4;
+}
+
+control App_Ingress(inout headers hdr) {
+    action set_priority(<bit<3>, low> priority) {
+        hdr.ipv4.priority = priority;
+    }
+    action NoAction() { }
+    table app_resources {
+        key = { hdr.app.appID: exact; }
+        actions = { set_priority; NoAction; }
+    }
+    apply {
+        app_resources.apply();
+    }
+}
+"""
+
+_SECURE = """
+// Resource allocation keyed on the trusted destination address (secure).
+header app_t  { <bit<8>, high> appID; }
+header ipv4_t {
+    <bit<32>, low> dstAddr;
+    <bit<3>, low>  priority;
+    <bit<8>, low>  ttl;
+}
+
+struct headers {
+    app_t app;
+    ipv4_t ipv4;
+}
+
+control App_Ingress(inout headers hdr) {
+    action set_priority(<bit<3>, low> priority) {
+        hdr.ipv4.priority = priority;
+    }
+    action NoAction() { }
+    table app_resources {
+        key = { hdr.ipv4.dstAddr: exact; }
+        actions = { set_priority; NoAction; }
+    }
+    apply {
+        app_resources.apply();
+    }
+}
+"""
+
+
+def _control_plane() -> ControlPlane:
+    plane = ControlPlane()
+    # Requests whose key has its low bit set are latency sensitive and get a
+    # high priority; everything else keeps the default priority.
+    plane.add_entry(
+        "app_resources",
+        TableEntry(
+            patterns=(TernaryMatch(1, 1),),
+            action="set_priority",
+            action_args=(("priority", IntValue(7, 3)),),
+        ),
+    )
+    plane.set_default_action(
+        "app_resources", "set_priority", {"priority": IntValue(1, 3)}
+    )
+    return plane
+
+
+def resource_allocation_case_study() -> CaseStudy:
+    """The App row of Table 1 (Section 5.3)."""
+    return CaseStudy(
+        name="app",
+        title="Resource allocation integrity",
+        section="5.3",
+        description=(
+            "A gateway assigns per-application priorities.  Under the integrity "
+            "reading of labels, the client-controlled appID is untrusted and the "
+            "priority field is trusted; deriving priority from appID lets a "
+            "malicious client manipulate the allocation."
+        ),
+        lattice_name="two-point",
+        secure_source=_SECURE,
+        insecure_source=_INSECURE,
+        expected_violations=(ViolationKind.TABLE_KEY_FLOW,),
+        control_plane_factory=_control_plane,
+    )

@@ -1,0 +1,146 @@
+"""Topology obfuscation: translating virtual to physical addresses.
+
+This is the paper's running example (Listings 1 and 2, Section 2).  A
+gateway switch rewrites virtual destination addresses into physical ones
+when packets enter a local network.  The physical topology details
+(physical address, local hop budget) are private to the network and live in
+a dedicated ``local_hdr`` header that is stripped before packets leave.
+
+The insecure variant stores the *local* TTL into the public ``ipv4.ttl``
+field (Listing 1, line 34), so topology information escapes with the
+packet.  P4BID flags the assignment as an explicit flow; the secure variant
+stores it into ``local_hdr.phys_ttl`` instead.
+
+Note: the secret here is supplied by the *control plane* (the
+``update_to_phys`` arguments), which the non-interference definition holds
+fixed across the two runs -- so this particular leak is a labelling error
+caught statically but not observable by the differential harness.
+"""
+
+from __future__ import annotations
+
+from repro.casestudies.base import CaseStudy
+from repro.ifc.errors import ViolationKind
+from repro.semantics.control_plane import ControlPlane, LpmMatch, TableEntry
+from repro.semantics.values import IntValue
+
+_SECURE = """
+// Listing 2: security-annotated virtual-to-physical translation (secure).
+header local_hdr_t {
+    <bit<32>, high> phys_dstAddr;
+    <bit<8>, high>  phys_ttl;
+    <bit<48>, high> next_hop_MAC_addr;
+}
+
+header ipv4_t {
+    <bit<8>, low>  ttl;
+    <bit<8>, low>  protocol;
+    <bit<32>, low> srcAddr;
+    <bit<32>, low> dstAddr;
+}
+
+header eth_t {
+    <bit<48>, low> srcAddr;
+    <bit<48>, low> dstAddr;
+}
+
+struct headers {
+    ipv4_t ipv4;
+    eth_t eth;
+    local_hdr_t local_hdr;
+}
+
+struct standard_metadata_t {
+    <bit<9>, low> egress_spec;
+    <bit<1>, low> drop_flag;
+}
+
+control Obfuscate_Ingress(inout headers hdr,
+                          inout standard_metadata_t standard_metadata) {
+    action update_to_phys(<bit<32>, high> phys_dstAddr, <bit<8>, high> phys_ttl) {
+        hdr.local_hdr.phys_dstAddr = phys_dstAddr;
+        // FIX: high <- high
+        hdr.local_hdr.phys_ttl = phys_ttl;
+    }
+    table virtual2phys_topology {
+        key = { hdr.ipv4.dstAddr: exact; }
+        actions = { update_to_phys; }
+    }
+    action ipv4_forward(<bit<48>, low> dstAddr, <bit<9>, low> port) {
+        hdr.eth.dstAddr = dstAddr;
+        standard_metadata.egress_spec = port;
+    }
+    action drop() {
+        standard_metadata.drop_flag = 1;
+    }
+    table ipv4_lpm_forward {
+        key = { hdr.ipv4.dstAddr: lpm; }
+        actions = { ipv4_forward; drop; }
+    }
+    apply {
+        virtual2phys_topology.apply();
+        ipv4_lpm_forward.apply();
+    }
+}
+"""
+
+_INSECURE = _SECURE.replace(
+    """        // FIX: high <- high
+        hdr.local_hdr.phys_ttl = phys_ttl;""",
+    """        // BUG: low <- high (Listing 1, line 34)
+        hdr.ipv4.ttl = phys_ttl;""",
+)
+
+
+def _control_plane() -> ControlPlane:
+    plane = ControlPlane()
+    plane.add_exact_entry(
+        "virtual2phys_topology",
+        [10],
+        "update_to_phys",
+        {"phys_dstAddr": IntValue(0xC0A80101, 32), "phys_ttl": IntValue(3, 8)},
+    )
+    plane.add_exact_entry(
+        "virtual2phys_topology",
+        [20],
+        "update_to_phys",
+        {"phys_dstAddr": IntValue(0xC0A80202, 32), "phys_ttl": IntValue(5, 8)},
+    )
+    plane.add_entry(
+        "ipv4_lpm_forward",
+        TableEntry(
+            patterns=(LpmMatch(0, 0),),
+            action="ipv4_forward",
+            action_args=(
+                ("dstAddr", IntValue(0xAABBCCDDEE00, 48)),
+                ("port", IntValue(7, 9)),
+            ),
+        ),
+    )
+    plane.set_default_action("virtual2phys_topology", "update_to_phys")
+    return plane
+
+
+def topology_case_study() -> CaseStudy:
+    """The Topology row of Table 1 (Listings 1 and 2)."""
+    return CaseStudy(
+        name="topology",
+        title="Topology obfuscation (virtual-to-physical translation)",
+        section="2",
+        description=(
+            "A gateway switch translates virtual destination addresses into "
+            "physical ones; local topology details are high and must not reach "
+            "the public ipv4/eth headers that leave the network."
+        ),
+        lattice_name="two-point",
+        secure_source=_SECURE,
+        insecure_source=_INSECURE,
+        expected_violations=(ViolationKind.EXPLICIT_FLOW,),
+        control_plane_factory=_control_plane,
+        leak_observable_differentially=False,
+        notes=(
+            "The leaked secret (phys_ttl) is installed by the control plane, "
+            "which Definition 4.2 holds fixed, so the leak is caught by the "
+            "type system but not by the differential harness."
+        ),
+    )

@@ -1,0 +1,22 @@
+"""Front-end error types, all carrying a source span."""
+
+from __future__ import annotations
+
+from repro.syntax.source import SourceSpan
+
+
+class FrontendError(Exception):
+    """Base class for lexing and parsing failures."""
+
+    def __init__(self, message: str, span: SourceSpan | None = None) -> None:
+        self.span = span or SourceSpan.unknown()
+        super().__init__(f"{self.span}: {message}")
+        self.message = message
+
+
+class LexerError(FrontendError):
+    """An unrecognised character or malformed literal."""
+
+
+class ParserError(FrontendError):
+    """The token stream does not form a well-formed program."""

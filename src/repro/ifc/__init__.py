@@ -1,0 +1,54 @@
+"""The P4BID information-flow control type system (Section 4).
+
+This package is the paper's core contribution: security types ``⟨τ, χ⟩``
+over a lattice of labels, pc-indexed typing judgements for expressions,
+statements, and declarations (Figures 5-7), and a checker that reports
+explicit and implicit information-flow violations with source locations.
+"""
+
+from repro.ifc.errors import IfcDiagnostic, IfcError, ViolationKind
+from repro.ifc.security_types import (
+    SecurityType,
+    SBool,
+    SInt,
+    SBit,
+    SUnit,
+    SRecord,
+    SHeader,
+    SStack,
+    SMatchKind,
+    STable,
+    SFunction,
+    SParam,
+)
+from repro.ifc.context import SecurityContext, SecurityTypeDefs
+from repro.ifc.convert import TypeLabeler, LabelResolutionError
+from repro.ifc.declassify import DECLASSIFY_FUNCTIONS, DeclassificationEvent
+from repro.ifc.checker import IfcChecker, IfcCheckResult, check_ifc
+
+__all__ = [
+    "IfcDiagnostic",
+    "IfcError",
+    "ViolationKind",
+    "SecurityType",
+    "SBool",
+    "SInt",
+    "SBit",
+    "SUnit",
+    "SRecord",
+    "SHeader",
+    "SStack",
+    "SMatchKind",
+    "STable",
+    "SFunction",
+    "SParam",
+    "SecurityContext",
+    "SecurityTypeDefs",
+    "TypeLabeler",
+    "LabelResolutionError",
+    "DECLASSIFY_FUNCTIONS",
+    "DeclassificationEvent",
+    "IfcChecker",
+    "IfcCheckResult",
+    "check_ifc",
+]

@@ -1,0 +1,131 @@
+"""Resolving annotated syntactic types into security types.
+
+The :class:`TypeLabeler` turns an :class:`~repro.syntax.types.AnnotatedType`
+into a :class:`~repro.ifc.security_types.SecurityType` under a given
+lattice and type-definition context:
+
+* scalar types get the annotated label, defaulting to ``⊥`` when the
+  programmer wrote no annotation (the paper: "unannotated types default to
+  low");
+* named types are unfolded through Δ (``Δ ⊢ τ ⇝ τ'``), keeping the per-field
+  annotations written at the declaration site;
+* a label written on a composite *use* site (``<alice_t, A> x``) is joined
+  into every field, so the outer label of a composite stays ⊥ as in
+  Figure 4.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.ifc.context import SecurityTypeDefs
+from repro.ifc.security_types import (
+    SBit,
+    SBool,
+    SHeader,
+    SInt,
+    SMatchKind,
+    SRecord,
+    SStack,
+    SUnit,
+    SecurityType,
+    join_into,
+)
+from repro.lattice.base import Label, Lattice, LatticeError
+from repro.syntax.types import (
+    AnnotatedType,
+    BitType,
+    BoolType,
+    Field,
+    HeaderType,
+    IntType,
+    MatchKindType,
+    RecordType,
+    StackType,
+    Type,
+    TypeName,
+    UnitType,
+)
+
+
+class LabelResolutionError(Exception):
+    """An annotation names an unknown label or an unknown type."""
+
+
+class TypeLabeler:
+    """Converts annotated syntactic types into security types."""
+
+    def __init__(self, lattice: Lattice, definitions: SecurityTypeDefs) -> None:
+        self._lattice = lattice
+        self._definitions = definitions
+
+    @property
+    def lattice(self) -> Lattice:
+        return self._lattice
+
+    @property
+    def definitions(self) -> SecurityTypeDefs:
+        return self._definitions
+
+    # ------------------------------------------------------------------ labels
+
+    def resolve_label(self, text: Optional[str]) -> Label:
+        """Resolve an annotation's raw text; ``None`` defaults to ⊥."""
+        if text is None:
+            return self._lattice.bottom
+        try:
+            return self._lattice.parse_label(text)
+        except LatticeError as exc:
+            raise LabelResolutionError(str(exc)) from exc
+
+    # ------------------------------------------------------------------ types
+
+    def security_type(self, annotated: AnnotatedType, *, seen: frozenset = frozenset()) -> SecurityType:
+        """The security type denoted by ``annotated`` under Δ and the lattice."""
+        label = self.resolve_label(annotated.label)
+        base = self._body_of(annotated.ty, seen)
+        if isinstance(base.body, (SRecord, SHeader, SStack)):
+            if annotated.label is not None:
+                return join_into(self._lattice, base, label)
+            return base
+        return SecurityType(base.body, self._lattice.join(base.label, label))
+
+    def security_type_of_fields(self, fields: Sequence[Field], *, header: bool) -> SecurityType:
+        """Security type of a header/struct declaration's field list."""
+        converted = tuple(
+            (field.name, self.security_type(field.ty)) for field in fields
+        )
+        body = SHeader(converted) if header else SRecord(converted)
+        return SecurityType(body, self._lattice.bottom)
+
+    def _body_of(self, ty: Type, seen: frozenset) -> SecurityType:
+        bottom = self._lattice.bottom
+        if isinstance(ty, BoolType):
+            return SecurityType(SBool(), bottom)
+        if isinstance(ty, IntType):
+            return SecurityType(SInt(), bottom)
+        if isinstance(ty, BitType):
+            return SecurityType(SBit(ty.width), bottom)
+        if isinstance(ty, UnitType):
+            return SecurityType(SUnit(), bottom)
+        if isinstance(ty, MatchKindType):
+            return SecurityType(SMatchKind(), bottom)
+        if isinstance(ty, RecordType):
+            fields = tuple((f.name, self.security_type(f.ty, seen=seen)) for f in ty.fields)
+            return SecurityType(SRecord(fields), bottom)
+        if isinstance(ty, HeaderType):
+            fields = tuple((f.name, self.security_type(f.ty, seen=seen)) for f in ty.fields)
+            return SecurityType(SHeader(fields), bottom)
+        if isinstance(ty, StackType):
+            element = self.security_type(ty.element, seen=seen)
+            return SecurityType(SStack(element, ty.size), bottom)
+        if isinstance(ty, TypeName):
+            if ty.name in seen:
+                raise LabelResolutionError(
+                    f"cyclic type definition involving {ty.name!r}"
+                )
+            definition = self._definitions.lookup(ty.name)
+            if definition is None:
+                raise LabelResolutionError(f"unknown type name {ty.name!r}")
+            return self.security_type(definition, seen=seen | {ty.name})
+        raise LabelResolutionError(f"type {ty.describe()} has no security interpretation")

@@ -1,0 +1,53 @@
+"""Declassification and endorsement (an extension beyond the paper).
+
+Pure non-interference is sometimes too strict: real policies occasionally
+need to *release* a specific piece of secret data (e.g. the one bit "was
+this request served from the cache?") or to *endorse* an untrusted value
+after validating it.  The standard escape hatch in the IFC literature is a
+pair of explicit primitives:
+
+* ``declassify(e)`` -- the value of ``e`` relabelled to ⊥ (confidentiality
+  release),
+* ``endorse(e)`` -- the same operation read under the integrity
+  interpretation of labels.
+
+Both are identity functions at run time; statically they are the *only*
+places where a label may move down the lattice, and every use is recorded
+in the check result so a reviewer can audit exactly what a program
+releases.  The checker only honours them when explicitly enabled
+(``IfcChecker(allow_declassification=True)`` or ``p4bid --allow-declassify``);
+otherwise they are reported as violations, preserving the paper's strict
+non-interference by default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lattice.base import Label
+from repro.syntax.source import SourceSpan
+
+#: The callee names the checker and interpreter treat as release points.
+DECLASSIFY_FUNCTIONS = frozenset({"declassify", "endorse"})
+
+
+@dataclass(frozen=True, slots=True)
+class DeclassificationEvent:
+    """One audited use of ``declassify``/``endorse``."""
+
+    #: Which primitive was used (``declassify`` or ``endorse``).
+    primitive: str
+    #: Source rendering of the released expression.
+    expression: str
+    #: The label the expression had before the release.
+    from_label: Label
+    #: The label it has afterwards (the lattice bottom).
+    to_label: Label
+    #: Where the release happens.
+    span: SourceSpan
+
+    def __str__(self) -> str:
+        return (
+            f"{self.span}: {self.primitive}({self.expression}): "
+            f"{self.from_label} -> {self.to_label}"
+        )

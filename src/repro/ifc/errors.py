@@ -1,0 +1,50 @@
+"""Diagnostics for the IFC type system.
+
+Every violation carries a :class:`ViolationKind` so tools and tests can
+distinguish, e.g., explicit flows (``low := high``) from implicit flows
+(writing a low variable under a high guard or a high table key).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.syntax.source import SourceSpan
+
+
+class ViolationKind(enum.Enum):
+    """Classification of an information-flow (or labelling) error."""
+
+    EXPLICIT_FLOW = "explicit-flow"
+    IMPLICIT_FLOW = "implicit-flow"
+    TABLE_KEY_FLOW = "table-key-flow"
+    CALL_CONTEXT = "call-in-high-context"
+    ARGUMENT_FLOW = "argument-flow"
+    CONTROL_SIGNAL = "control-signal"
+    LABEL_ERROR = "label-error"
+    TYPE_ERROR = "type-error"
+    DECLASSIFICATION = "declassification"
+
+
+@dataclass(frozen=True, slots=True)
+class IfcDiagnostic:
+    """One IFC violation: kind, human message, rule, and location."""
+
+    kind: ViolationKind
+    message: str
+    span: SourceSpan = field(default_factory=SourceSpan.unknown)
+    rule: str = ""
+
+    def __str__(self) -> str:
+        rule = f" [{self.rule}]" if self.rule else ""
+        return f"{self.span}: {self.kind.value}{rule}: {self.message}"
+
+
+class IfcError(Exception):
+    """Raised by ``assert``-style entry points when IFC checking fails."""
+
+    def __init__(self, diagnostics: list[IfcDiagnostic]) -> None:
+        self.diagnostics = list(diagnostics)
+        summary = "; ".join(str(d) for d in diagnostics) or "information-flow violation"
+        super().__init__(summary)

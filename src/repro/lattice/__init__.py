@@ -1,0 +1,35 @@
+"""Security lattices for the P4BID information-flow control type system.
+
+The type system of Section 4 is parameterised by a lattice ``(L, ⊑)`` of
+security labels with top and bottom elements.  The paper's implementation
+supports the two-point lattice ``{low, high}`` and a four-point diamond
+lattice ``{⊥, A, B, ⊤}`` (Figure 8b).  This package provides those plus a
+few useful constructions (total-order chains, products, powersets, and
+arbitrary finite lattices given by a Hasse-style order relation).
+"""
+
+from repro.lattice.base import Label, Lattice, LatticeError
+from repro.lattice.finite import FiniteLattice
+from repro.lattice.two_point import TwoPointLattice, LOW, HIGH
+from repro.lattice.diamond import DiamondLattice
+from repro.lattice.chain import ChainLattice
+from repro.lattice.product import ProductLattice
+from repro.lattice.powerset import PowersetLattice
+from repro.lattice.registry import get_lattice, register_lattice, available_lattices
+
+__all__ = [
+    "Label",
+    "Lattice",
+    "LatticeError",
+    "FiniteLattice",
+    "TwoPointLattice",
+    "LOW",
+    "HIGH",
+    "DiamondLattice",
+    "ChainLattice",
+    "ProductLattice",
+    "PowersetLattice",
+    "get_lattice",
+    "register_lattice",
+    "available_lattices",
+]

@@ -1,0 +1,180 @@
+"""Abstract interface for security lattices.
+
+A security label is any hashable value; a :class:`Lattice` interprets a set
+of labels with a partial order, binary join/meet, and distinguished top and
+bottom elements.  All IFC typing rules only use:
+
+* ``leq(a, b)`` -- the order ``a ⊑ b``,
+* ``join(a, b)`` -- least upper bound (used, e.g., by T-BinOp),
+* ``meet(a, b)`` -- greatest lower bound (used when combining write bounds),
+* ``bottom`` / ``top``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Hashable, Iterable
+
+#: A security label.  Labels are opaque to the type system; only the lattice
+#: interprets them.
+Label = Hashable
+
+
+class LatticeError(Exception):
+    """Raised when a label is not a member of the lattice or the lattice
+    definition itself is malformed (not reflexive, no unique bounds, ...)."""
+
+
+class Lattice(ABC):
+    """Interface every security lattice implements."""
+
+    #: Short, human readable name used by the registry and diagnostics.
+    name: str = "lattice"
+
+    # -- membership -------------------------------------------------------
+
+    @abstractmethod
+    def labels(self) -> Iterable[Label]:
+        """Return an iterable over every label in the lattice."""
+
+    def __contains__(self, label: Label) -> bool:
+        return label in set(self.labels())
+
+    def require(self, label: Label) -> Label:
+        """Return ``label`` unchanged, raising :class:`LatticeError` if it is
+        not a member of this lattice."""
+        if label not in self:
+            raise LatticeError(
+                f"label {label!r} is not a member of lattice {self.name!r}"
+            )
+        return label
+
+    # -- order ------------------------------------------------------------
+
+    @abstractmethod
+    def leq(self, a: Label, b: Label) -> bool:
+        """Return True when ``a ⊑ b``."""
+
+    def lt(self, a: Label, b: Label) -> bool:
+        """Strict order: ``a ⊑ b`` and ``a ≠ b``."""
+        return self.leq(a, b) and not self.equal(a, b)
+
+    def equal(self, a: Label, b: Label) -> bool:
+        """Label equality modulo the order (antisymmetry)."""
+        return self.leq(a, b) and self.leq(b, a)
+
+    def comparable(self, a: Label, b: Label) -> bool:
+        """Return True when ``a`` and ``b`` are ordered either way."""
+        return self.leq(a, b) or self.leq(b, a)
+
+    # -- bounds -----------------------------------------------------------
+
+    @property
+    @abstractmethod
+    def bottom(self) -> Label:
+        """The least element ``⊥`` (public / trusted)."""
+
+    @property
+    @abstractmethod
+    def top(self) -> Label:
+        """The greatest element ``⊤`` (secret / untrusted)."""
+
+    @abstractmethod
+    def join(self, a: Label, b: Label) -> Label:
+        """Least upper bound of ``a`` and ``b``."""
+
+    @abstractmethod
+    def meet(self, a: Label, b: Label) -> Label:
+        """Greatest lower bound of ``a`` and ``b``."""
+
+    # -- n-ary conveniences -------------------------------------------------
+
+    def join_all(self, labels: Iterable[Label]) -> Label:
+        """Join of an arbitrary (possibly empty) collection; empty -> ⊥."""
+        result = self.bottom
+        for label in labels:
+            result = self.join(result, label)
+        return result
+
+    def meet_all(self, labels: Iterable[Label]) -> Label:
+        """Meet of an arbitrary (possibly empty) collection; empty -> ⊤."""
+        result = self.top
+        for label in labels:
+            result = self.meet(result, label)
+        return result
+
+    # -- parsing / display --------------------------------------------------
+
+    def parse_label(self, text: str) -> Label:
+        """Parse the surface-syntax spelling of a label.
+
+        The default implementation matches against ``str(label)`` for every
+        member, case-insensitively, and also accepts the spellings ``bot`` /
+        ``bottom`` / ``top`` for the bounds.
+        """
+        lowered = text.strip().lower()
+        if lowered in {"bot", "bottom", "_|_"}:
+            return self.bottom
+        if lowered in {"top", "t"} and "top" not in {str(x).lower() for x in self.labels()}:
+            return self.top
+        for label in self.labels():
+            if str(label).lower() == lowered:
+                return label
+        raise LatticeError(
+            f"unknown security label {text!r} for lattice {self.name!r}; "
+            f"expected one of {sorted(str(x) for x in self.labels())}"
+        )
+
+    def format_label(self, label: Label) -> str:
+        """Human readable spelling of a label (used by diagnostics)."""
+        return str(label)
+
+    # -- sanity checking ----------------------------------------------------
+
+    def validate(self) -> None:
+        """Check the lattice laws on the (finite) carrier.
+
+        Verifies reflexivity, antisymmetry, transitivity, that ``bottom`` and
+        ``top`` really are bounds, and that ``join`` / ``meet`` compute least
+        upper / greatest lower bounds.  Raises :class:`LatticeError` on the
+        first violation.  Intended for tests and for user-defined lattices.
+        """
+        members = list(self.labels())
+        for a in members:
+            if not self.leq(a, a):
+                raise LatticeError(f"order not reflexive at {a!r}")
+            if not self.leq(self.bottom, a):
+                raise LatticeError(f"bottom is not below {a!r}")
+            if not self.leq(a, self.top):
+                raise LatticeError(f"top is not above {a!r}")
+        for a in members:
+            for b in members:
+                if self.leq(a, b) and self.leq(b, a) and a != b:
+                    raise LatticeError(f"order not antisymmetric at {a!r}, {b!r}")
+                j = self.join(a, b)
+                m = self.meet(a, b)
+                if not (self.leq(a, j) and self.leq(b, j)):
+                    raise LatticeError(f"join({a!r}, {b!r}) = {j!r} is not an upper bound")
+                if not (self.leq(m, a) and self.leq(m, b)):
+                    raise LatticeError(f"meet({a!r}, {b!r}) = {m!r} is not a lower bound")
+                for c in members:
+                    if self.leq(a, c) and self.leq(b, c) and not self.leq(j, c):
+                        raise LatticeError(
+                            f"join({a!r}, {b!r}) = {j!r} is not the *least* upper bound "
+                            f"(violated by {c!r})"
+                        )
+                    if self.leq(c, a) and self.leq(c, b) and not self.leq(c, m):
+                        raise LatticeError(
+                            f"meet({a!r}, {b!r}) = {m!r} is not the *greatest* lower bound "
+                            f"(violated by {c!r})"
+                        )
+        for a in members:
+            for b in members:
+                for c in members:
+                    if self.leq(a, b) and self.leq(b, c) and not self.leq(a, c):
+                        raise LatticeError(
+                            f"order not transitive at {a!r} ⊑ {b!r} ⊑ {c!r}"
+                        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"

@@ -1,0 +1,41 @@
+"""Total-order ("chain") lattices of arbitrary height.
+
+A chain of height ``n`` has labels ``L0 ⊑ L1 ⊑ ... ⊑ L(n-1)``.  The paper's
+two-point lattice is the chain of height 2; taller chains are used by our
+lattice-size ablation benchmark and to model multi-level clearances.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.lattice.base import LatticeError
+from repro.lattice.finite import FiniteLattice
+
+
+class ChainLattice(FiniteLattice):
+    """A totally ordered lattice over the given labels (lowest first)."""
+
+    def __init__(self, levels: Sequence[str], *, name: str | None = None) -> None:
+        if len(levels) < 2:
+            raise LatticeError("a chain lattice needs at least two levels")
+        if len(set(levels)) != len(levels):
+            raise LatticeError("chain levels must be distinct")
+        order = [(levels[i], levels[i + 1]) for i in range(len(levels) - 1)]
+        super().__init__(list(levels), order, name=name or f"chain-{len(levels)}")
+        self._levels = tuple(levels)
+
+    @classmethod
+    def of_height(cls, height: int) -> "ChainLattice":
+        """A chain ``L0 ⊑ ... ⊑ L(height-1)`` with generated label names."""
+        return cls([f"L{i}" for i in range(height)])
+
+    @property
+    def levels(self) -> tuple:
+        """The labels in increasing order."""
+        return self._levels
+
+    def rank(self, label: str) -> int:
+        """The position of ``label`` in the chain (0 = bottom)."""
+        self.require(label)
+        return self._levels.index(label)

@@ -1,0 +1,49 @@
+"""The four-point diamond lattice of Figure 8b.
+
+::
+
+          top
+         /    \\
+        B      A
+         \\    /
+          bot
+
+Used in Section 5.4 to model network isolation: Alice's data is labelled
+``A``, Bob's data ``B``, in-band telemetry ``top`` and globally visible
+routing data ``bot``.  Non-interference then guarantees that Alice cannot
+influence Bob's fields and vice versa, and neither can read telemetry.
+"""
+
+from __future__ import annotations
+
+from repro.lattice.finite import FiniteLattice
+
+BOT = "bot"
+ALICE = "A"
+BOB = "B"
+TOP = "top"
+
+
+class DiamondLattice(FiniteLattice):
+    """``{bot, A, B, top}`` with ``bot ⊑ A ⊑ top`` and ``bot ⊑ B ⊑ top``."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            [BOT, ALICE, BOB, TOP],
+            [(BOT, ALICE), (BOT, BOB), (ALICE, TOP), (BOB, TOP)],
+            name="diamond",
+        )
+
+    def parse_label(self, text: str) -> str:
+        lowered = text.strip().lower()
+        aliases = {
+            "alice": ALICE,
+            "a": ALICE,
+            "bob": BOB,
+            "b": BOB,
+            "low": BOT,
+            "high": TOP,
+        }
+        if lowered in aliases:
+            return aliases[lowered]
+        return super().parse_label(text)

@@ -1,0 +1,48 @@
+"""A small registry of named lattices for the CLI and the test-suite.
+
+The P4BID tool selects the lattice by name (``--lattice two-point`` or
+``--lattice diamond``); additional lattices can be registered by library
+users (e.g. chains of a given height for multi-level policies).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.lattice.base import Lattice, LatticeError
+from repro.lattice.chain import ChainLattice
+from repro.lattice.diamond import DiamondLattice
+from repro.lattice.two_point import TwoPointLattice
+
+_FACTORIES: Dict[str, Callable[[], Lattice]] = {}
+
+
+def register_lattice(name: str, factory: Callable[[], Lattice]) -> None:
+    """Register ``factory`` so ``get_lattice(name)`` can construct it."""
+    _FACTORIES[name] = factory
+
+
+def available_lattices() -> Tuple[str, ...]:
+    """Names of every registered lattice, sorted."""
+    return tuple(sorted(_FACTORIES))
+
+
+def get_lattice(name: str) -> Lattice:
+    """Construct the lattice registered under ``name``.
+
+    Also accepts ``chain-N`` for any integer ``N >= 2`` even if that height
+    was never explicitly registered.
+    """
+    if name in _FACTORIES:
+        return _FACTORIES[name]()
+    if name.startswith("chain-"):
+        suffix = name[len("chain-"):]
+        if suffix.isdigit() and int(suffix) >= 2:
+            return ChainLattice.of_height(int(suffix))
+    raise LatticeError(
+        f"unknown lattice {name!r}; available: {', '.join(available_lattices())}"
+    )
+
+
+register_lattice("two-point", TwoPointLattice)
+register_lattice("diamond", DiamondLattice)

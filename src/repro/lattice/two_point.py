@@ -1,0 +1,35 @@
+"""The two-point security lattice ``{low, high}`` used throughout the paper.
+
+``low`` is public (or trusted, under the integrity reading of Section 5.3)
+and ``high`` is secret (or untrusted); ``low ⊑ high``.
+"""
+
+from __future__ import annotations
+
+from repro.lattice.finite import FiniteLattice
+
+#: Canonical spelling of the public / trusted label.
+LOW = "low"
+#: Canonical spelling of the secret / untrusted label.
+HIGH = "high"
+
+
+class TwoPointLattice(FiniteLattice):
+    """The classic ``low ⊑ high`` lattice (the paper's default)."""
+
+    def __init__(self) -> None:
+        super().__init__([LOW, HIGH], [(LOW, HIGH)], name="two-point")
+
+    def parse_label(self, text: str) -> str:
+        lowered = text.strip().lower()
+        aliases = {
+            "public": LOW,
+            "trusted": LOW,
+            "l": LOW,
+            "secret": HIGH,
+            "untrusted": HIGH,
+            "h": HIGH,
+        }
+        if lowered in aliases:
+            return aliases[lowered]
+        return super().parse_label(text)

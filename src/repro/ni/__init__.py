@@ -1,0 +1,34 @@
+"""Empirical non-interference checking (Definitions 4.1 / 4.2, Theorem 4.3).
+
+The paper proves that well-typed programs are non-interfering.  This
+package provides the *testing* counterpart used to validate the
+implementation: run a program twice on stores that agree on every
+observable (below-``l``) component, and check that the final stores agree
+on the observable components too.  A violation is returned as a concrete
+counterexample, which is exactly what one expects to find for the insecure
+case-study variants and never for the secure ones.
+"""
+
+from repro.ni.labeling import control_security_types, program_labeler
+from repro.ni.equivalence import low_equivalent, low_project, first_difference
+from repro.ni.generators import ValueGenerator, low_equivalent_pair
+from repro.ni.harness import (
+    Counterexample,
+    NIResult,
+    check_non_interference,
+    run_pair,
+)
+
+__all__ = [
+    "control_security_types",
+    "program_labeler",
+    "low_equivalent",
+    "low_project",
+    "first_difference",
+    "ValueGenerator",
+    "low_equivalent_pair",
+    "Counterexample",
+    "NIResult",
+    "check_non_interference",
+    "run_pair",
+]

@@ -1,0 +1,122 @@
+"""Low-equivalence of runtime values (Definition 4.1).
+
+Two values are *low-equivalent at level l* when every component whose
+security label is ⊑ l is equal in both.  Components above l may differ
+arbitrarily -- they are the secrets non-interference quantifies over.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple
+
+from repro.ifc.security_types import SHeader, SRecord, SStack, SecurityType
+from repro.lattice.base import Label, Lattice
+from repro.semantics.values import (
+    BoolValue,
+    HeaderValue,
+    IntValue,
+    RecordValue,
+    StackValue,
+    Value,
+)
+
+
+def _scalar_equal(a: Value, b: Value) -> bool:
+    if isinstance(a, BoolValue) and isinstance(b, BoolValue):
+        return a.value == b.value
+    if isinstance(a, IntValue) and isinstance(b, IntValue):
+        return a.value == b.value
+    return a == b
+
+
+def low_equivalent(
+    lattice: Lattice,
+    level: Label,
+    sec_type: SecurityType,
+    value_a: Value,
+    value_b: Value,
+) -> bool:
+    """Whether ``value_a`` and ``value_b`` agree on every below-``level`` part."""
+    return first_difference(lattice, level, sec_type, value_a, value_b) is None
+
+
+def first_difference(
+    lattice: Lattice,
+    level: Label,
+    sec_type: SecurityType,
+    value_a: Value,
+    value_b: Value,
+    path: str = "",
+) -> Optional[Tuple[str, Value, Value]]:
+    """The first observable component where the two values differ, if any.
+
+    Returns ``(path, a, b)`` naming the differing component, which the
+    harness includes in counterexamples.
+    """
+    body = sec_type.body
+    if isinstance(body, (SRecord, SHeader)):
+        if isinstance(value_a, (RecordValue, HeaderValue)) and isinstance(
+            value_b, (RecordValue, HeaderValue)
+        ):
+            for name, field_type in body.fields:
+                field_a = value_a.get(name)
+                field_b = value_b.get(name)
+                if field_a is None or field_b is None:
+                    continue
+                diff = first_difference(
+                    lattice, level, field_type, field_a, field_b, f"{path}.{name}"
+                )
+                if diff is not None:
+                    return diff
+            return None
+        # shape mismatch: observable by construction
+        return (path or "<value>", value_a, value_b)
+    if isinstance(body, SStack):
+        if isinstance(value_a, StackValue) and isinstance(value_b, StackValue):
+            for index, (elem_a, elem_b) in enumerate(
+                zip(value_a.elements, value_b.elements)
+            ):
+                diff = first_difference(
+                    lattice, level, body.element, elem_a, elem_b, f"{path}[{index}]"
+                )
+                if diff is not None:
+                    return diff
+            return None
+        return (path or "<value>", value_a, value_b)
+    # scalar: observable only when its label is below the observation level
+    if lattice.leq(sec_type.label, level):
+        if not _scalar_equal(value_a, value_b):
+            return (path or "<value>", value_a, value_b)
+    return None
+
+
+def low_project(
+    lattice: Lattice, level: Label, sec_type: SecurityType, value: Value
+) -> Any:
+    """A plain-Python projection of the observable part of ``value``.
+
+    Secret components are replaced by the marker string ``"<secret>"`` so
+    two projections compare equal exactly when the values are
+    low-equivalent.  Useful for debugging and for table-driven tests.
+    """
+    body = sec_type.body
+    if isinstance(body, (SRecord, SHeader)) and isinstance(
+        value, (RecordValue, HeaderValue)
+    ):
+        return {
+            name: low_project(lattice, level, field_type, value.get(name))
+            for name, field_type in body.fields
+            if value.get(name) is not None
+        }
+    if isinstance(body, SStack) and isinstance(value, StackValue):
+        return [
+            low_project(lattice, level, body.element, element)
+            for element in value.elements
+        ]
+    if lattice.leq(sec_type.label, level):
+        if isinstance(value, BoolValue):
+            return value.value
+        if isinstance(value, IntValue):
+            return value.value
+        return value.describe()
+    return "<secret>"

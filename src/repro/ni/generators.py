@@ -1,0 +1,119 @@
+"""Random generation of runtime values and low-equivalent input pairs.
+
+The harness runs a program on many pairs of inputs that agree on their
+observable (below-level) components and differ on secrets.  The generator
+is seeded so failures are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional, Tuple
+
+from repro.ifc.security_types import (
+    SBit,
+    SBool,
+    SHeader,
+    SInt,
+    SRecord,
+    SStack,
+    SecurityType,
+)
+from repro.lattice.base import Label, Lattice
+from repro.semantics.values import (
+    BoolValue,
+    HeaderValue,
+    IntValue,
+    RecordValue,
+    StackValue,
+    UnitValue,
+    Value,
+)
+
+
+class ValueGenerator:
+    """Draws random values that inhabit a given security type."""
+
+    def __init__(self, rng: Optional[random.Random] = None, max_bits: int = 16) -> None:
+        self._rng = rng or random.Random(0)
+        self._max_bits = max_bits
+
+    def random_value(self, sec_type: SecurityType) -> Value:
+        """A uniformly random value of the given (security) type."""
+        body = sec_type.body
+        if isinstance(body, SBool):
+            return BoolValue(self._rng.random() < 0.5)
+        if isinstance(body, SBit):
+            width = min(body.width, self._max_bits)
+            return IntValue(self._rng.randrange(1 << width), body.width)
+        if isinstance(body, SInt):
+            return IntValue(self._rng.randrange(1 << 16), None)
+        if isinstance(body, SRecord):
+            return RecordValue(
+                tuple((name, self.random_value(field)) for name, field in body.fields)
+            )
+        if isinstance(body, SHeader):
+            return HeaderValue(
+                tuple((name, self.random_value(field)) for name, field in body.fields),
+                valid=True,
+            )
+        if isinstance(body, SStack):
+            return StackValue(
+                tuple(self.random_value(body.element) for _ in range(body.size))
+            )
+        return UnitValue()
+
+    def vary_secrets(
+        self,
+        lattice: Lattice,
+        level: Label,
+        sec_type: SecurityType,
+        value: Value,
+    ) -> Value:
+        """A copy of ``value`` with every above-``level`` component re-drawn.
+
+        The result is low-equivalent to ``value`` at ``level`` by
+        construction.
+        """
+        body = sec_type.body
+        if isinstance(body, (SRecord, SHeader)) and isinstance(
+            value, (RecordValue, HeaderValue)
+        ):
+            new_fields = []
+            for name, field_type in body.fields:
+                current = value.get(name)
+                if current is None:
+                    continue
+                new_fields.append(
+                    (name, self.vary_secrets(lattice, level, field_type, current))
+                )
+            if isinstance(value, HeaderValue):
+                return HeaderValue(tuple(new_fields), value.valid)
+            return RecordValue(tuple(new_fields))
+        if isinstance(body, SStack) and isinstance(value, StackValue):
+            return StackValue(
+                tuple(
+                    self.vary_secrets(lattice, level, body.element, element)
+                    for element in value.elements
+                )
+            )
+        if lattice.leq(sec_type.label, level):
+            return value
+        return self.random_value(sec_type)
+
+
+def low_equivalent_pair(
+    lattice: Lattice,
+    level: Label,
+    sec_types: Dict[str, SecurityType],
+    generator: Optional[ValueGenerator] = None,
+) -> Tuple[Dict[str, Value], Dict[str, Value]]:
+    """Two input assignments that agree on observables and differ on secrets."""
+    generator = generator or ValueGenerator()
+    inputs_a: Dict[str, Value] = {}
+    inputs_b: Dict[str, Value] = {}
+    for name, sec_type in sec_types.items():
+        value_a = generator.random_value(sec_type)
+        inputs_a[name] = value_a
+        inputs_b[name] = generator.vary_secrets(lattice, level, sec_type, value_a)
+    return inputs_a, inputs_b

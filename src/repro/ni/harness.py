@@ -1,0 +1,159 @@
+"""The differential non-interference harness.
+
+For a program and an observation level ``l`` the harness repeatedly:
+
+1. draws a pair of parameter assignments that agree on every below-``l``
+   component (Definition 4.1),
+2. runs the control block on both under the *same* control plane ``C``,
+3. checks that the final parameter values agree on every below-``l``
+   component and that both runs produced the same control-flow signal
+   (Definition 4.2).
+
+A failure is returned as a :class:`Counterexample`.  Theorem 4.3 says
+well-typed programs never produce one; the insecure case-study variants
+produce one within a handful of trials.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.ifc.security_types import SecurityType
+from repro.lattice.base import Label, Lattice
+from repro.lattice.two_point import TwoPointLattice
+from repro.ni.equivalence import first_difference
+from repro.ni.generators import ValueGenerator, low_equivalent_pair
+from repro.ni.labeling import control_security_types
+from repro.semantics.control_plane import ControlPlane
+from repro.semantics.evaluator import run_control
+from repro.semantics.values import Value
+from repro.syntax.program import Program
+
+
+@dataclass
+class Counterexample:
+    """A witnessed violation of non-interference."""
+
+    trial: int
+    parameter: str
+    component: str
+    inputs_a: Dict[str, Value]
+    inputs_b: Dict[str, Value]
+    outputs_a: Dict[str, Value]
+    outputs_b: Dict[str, Value]
+    detail: str = ""
+
+    def __str__(self) -> str:
+        return (
+            f"trial {self.trial}: observable component {self.parameter}{self.component} "
+            f"differs between the two runs ({self.detail})"
+        )
+
+
+@dataclass
+class NIResult:
+    """Outcome of the differential harness."""
+
+    holds: bool
+    trials: int
+    level: Label
+    counterexample: Optional[Counterexample] = None
+    parameter_types: Dict[str, SecurityType] = field(default_factory=dict)
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.holds
+
+
+def run_pair(
+    program: Program,
+    inputs_a: Dict[str, Value],
+    inputs_b: Dict[str, Value],
+    *,
+    control_name: Optional[str] = None,
+    control_plane: Optional[ControlPlane] = None,
+) -> Tuple[Dict[str, Value], Dict[str, Value], bool]:
+    """Run the control twice; returns both outputs and whether signals agree."""
+    run_a = run_control(
+        program, inputs_a, control_name=control_name, control_plane=control_plane
+    )
+    run_b = run_control(
+        program, inputs_b, control_name=control_name, control_plane=control_plane
+    )
+    return run_a.parameters, run_b.parameters, run_a.signal.kind == run_b.signal.kind
+
+
+def check_non_interference(
+    program: Program,
+    lattice: Optional[Lattice] = None,
+    *,
+    level: Optional[Label] = None,
+    control_name: Optional[str] = None,
+    control_plane: Optional[ControlPlane] = None,
+    trials: int = 50,
+    seed: int = 0,
+    max_bits: int = 4,
+) -> NIResult:
+    """Empirically test non-interference at observation level ``level``.
+
+    ``level`` defaults to the lattice bottom (the public observer of the
+    two-point lattice).  Returns as soon as a counterexample is found.
+    ``max_bits`` bounds the magnitude of generated field values; small
+    values make table hits and branch flips likely, which is what exposes
+    leaks quickly.
+    """
+    lattice = lattice or TwoPointLattice()
+    level = lattice.bottom if level is None else level
+    sec_types = control_security_types(program, control_name, lattice)
+    generator = ValueGenerator(random.Random(seed), max_bits=max_bits)
+
+    for trial in range(trials):
+        inputs_a, inputs_b = low_equivalent_pair(lattice, level, sec_types, generator)
+        outputs_a, outputs_b, signals_agree = run_pair(
+            program,
+            inputs_a,
+            inputs_b,
+            control_name=control_name,
+            control_plane=control_plane,
+        )
+        if not signals_agree:
+            return NIResult(
+                False,
+                trial + 1,
+                level,
+                Counterexample(
+                    trial,
+                    "<signal>",
+                    "",
+                    inputs_a,
+                    inputs_b,
+                    outputs_a,
+                    outputs_b,
+                    detail="the two runs ended with different control-flow signals",
+                ),
+                sec_types,
+            )
+        for name, sec_type in sec_types.items():
+            diff = first_difference(
+                lattice, level, sec_type, outputs_a[name], outputs_b[name]
+            )
+            if diff is not None:
+                component, value_a, value_b = diff
+                return NIResult(
+                    False,
+                    trial + 1,
+                    level,
+                    Counterexample(
+                        trial,
+                        name,
+                        component,
+                        inputs_a,
+                        inputs_b,
+                        outputs_a,
+                        outputs_b,
+                        detail=f"{value_a.describe()} vs {value_b.describe()}",
+                    ),
+                    sec_types,
+                )
+    return NIResult(True, trials, level, None, sec_types)

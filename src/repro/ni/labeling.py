@@ -1,0 +1,51 @@
+"""Security-type views of a program's control parameters.
+
+The non-interference harness needs to know, for every control parameter,
+which components are observable (label ⊑ observation level) and which are
+secret.  That is exactly the security type the IFC checker assigns to the
+parameter, so we reuse :class:`repro.ifc.convert.TypeLabeler` over the
+program's type declarations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.ifc.context import SecurityTypeDefs
+from repro.ifc.convert import TypeLabeler
+from repro.ifc.security_types import SecurityType
+from repro.lattice.base import Lattice
+from repro.lattice.two_point import TwoPointLattice
+from repro.syntax import declarations as d
+from repro.syntax.program import Program
+from repro.syntax.types import AnnotatedType, HeaderType, RecordType
+
+
+def program_labeler(program: Program, lattice: Optional[Lattice] = None) -> TypeLabeler:
+    """A :class:`TypeLabeler` whose Δ contains the program's type declarations."""
+    lattice = lattice or TwoPointLattice()
+    definitions = SecurityTypeDefs()
+    for decl in program.declarations:
+        if isinstance(decl, d.HeaderDecl):
+            definitions.define(decl.name, AnnotatedType(HeaderType(decl.fields), None))
+        elif isinstance(decl, d.StructDecl):
+            definitions.define(decl.name, AnnotatedType(RecordType(decl.fields), None))
+        elif isinstance(decl, d.TypedefDecl):
+            definitions.define(decl.name, decl.ty)
+    return TypeLabeler(lattice, definitions)
+
+
+def control_security_types(
+    program: Program,
+    control_name: Optional[str] = None,
+    lattice: Optional[Lattice] = None,
+) -> Dict[str, SecurityType]:
+    """Security types of the named control's parameters (default: the only one)."""
+    labeler = program_labeler(program, lattice)
+    if control_name is None:
+        control = program.main_control()
+    else:
+        control = program.control_named(control_name)
+        if control is None:
+            raise ValueError(f"program has no control named {control_name!r}")
+    return {param.name: labeler.security_type(param.ty) for param in control.params}

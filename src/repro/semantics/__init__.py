@@ -1,0 +1,72 @@
+"""Big-step operational semantics for the Core P4 fragment (Section 3.2).
+
+The interpreter implements the evaluation judgements of petr4 that the
+paper's non-interference theorem quantifies over:
+
+* ``⟨C, Δ, μ, ε, exp⟩ ⇓ ⟨μ', val⟩`` -- expression evaluation,
+* ``⟨C, Δ, μ, ε, stmt⟩ ⇓ ⟨μ', ε', sig⟩`` -- statement evaluation,
+* ``⟨C, Δ, μ, ε, decl⟩ ⇓ ⟨Δ', μ', ε', sig⟩`` -- declaration evaluation,
+
+including l-value evaluation and writing (Appendix F/G), copy-in/copy-out
+argument passing (Appendix H), closures, table values, and the control
+plane oracle ``C`` that resolves table matches to fully-applied actions.
+"""
+
+from repro.semantics.values import (
+    BoolValue,
+    ClosureValue,
+    HeaderValue,
+    IntValue,
+    MatchKindValue,
+    RecordValue,
+    StackValue,
+    TableValue,
+    UnitValue,
+    Value,
+    init_value,
+    havoc_value,
+)
+from repro.semantics.store import Environment, Location, Store
+from repro.semantics.control_plane import (
+    ControlPlane,
+    ExactMatch,
+    LpmMatch,
+    MatchPattern,
+    TableEntry,
+    TernaryMatch,
+    Wildcard,
+)
+from repro.semantics.signals import Signal, SignalKind
+from repro.semantics.errors import EvaluationError
+from repro.semantics.evaluator import Evaluator, ControlRun, run_control
+
+__all__ = [
+    "BoolValue",
+    "ClosureValue",
+    "HeaderValue",
+    "IntValue",
+    "MatchKindValue",
+    "RecordValue",
+    "StackValue",
+    "TableValue",
+    "UnitValue",
+    "Value",
+    "init_value",
+    "havoc_value",
+    "Environment",
+    "Location",
+    "Store",
+    "ControlPlane",
+    "ExactMatch",
+    "LpmMatch",
+    "MatchPattern",
+    "TableEntry",
+    "TernaryMatch",
+    "Wildcard",
+    "Signal",
+    "SignalKind",
+    "EvaluationError",
+    "Evaluator",
+    "ControlRun",
+    "run_control",
+]

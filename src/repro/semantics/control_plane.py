@@ -1,0 +1,190 @@
+"""The control-plane oracle ``C``.
+
+``C`` maps a table (identified by name), the evaluated key values, and the
+table's partially-applied actions to a fully-applied action: which action
+to run and the values of its control-plane-supplied (directionless)
+parameters.  In a real switch the controller installs these entries at run
+time; here they are provided by tests, examples, and the non-interference
+harness.
+
+Match kinds implemented: ``exact``, ``lpm`` (longest prefix), ``ternary``
+(value/mask), and a wildcard that matches anything.  When several entries
+match, ``exact``/``ternary`` pick the first in priority order while ``lpm``
+entries compete on prefix length, which is how BMv2 resolves matches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.semantics.errors import EvaluationError
+from repro.semantics.values import BoolValue, IntValue, Value
+
+
+def _as_int(value: Value) -> int:
+    if isinstance(value, IntValue):
+        return value.value
+    if isinstance(value, BoolValue):
+        return int(value.value)
+    raise EvaluationError(f"table keys must be scalars, got {value.describe()}")
+
+
+@dataclass(frozen=True)
+class MatchPattern:
+    """Base class for one key's match pattern inside a table entry."""
+
+    def matches(self, value: Value) -> bool:
+        raise NotImplementedError
+
+    def specificity(self) -> int:
+        """Higher is more specific; used to break ties between lpm entries."""
+        return 0
+
+
+@dataclass(frozen=True)
+class ExactMatch(MatchPattern):
+    value: int
+
+    def matches(self, value: Value) -> bool:
+        return _as_int(value) == self.value
+
+    def specificity(self) -> int:
+        return 1 << 16
+
+
+@dataclass(frozen=True)
+class LpmMatch(MatchPattern):
+    value: int
+    prefix_len: int
+    width: int = 32
+
+    def matches(self, value: Value) -> bool:
+        if self.prefix_len == 0:
+            return True
+        shift = self.width - self.prefix_len
+        return (_as_int(value) >> shift) == (self.value >> shift)
+
+    def specificity(self) -> int:
+        return self.prefix_len
+
+
+@dataclass(frozen=True)
+class TernaryMatch(MatchPattern):
+    value: int
+    mask: int
+
+    def matches(self, value: Value) -> bool:
+        return (_as_int(value) & self.mask) == (self.value & self.mask)
+
+    def specificity(self) -> int:
+        return bin(self.mask).count("1")
+
+
+@dataclass(frozen=True)
+class Wildcard(MatchPattern):
+    def matches(self, value: Value) -> bool:
+        return True
+
+    def specificity(self) -> int:
+        return 0
+
+
+@dataclass(frozen=True)
+class TableEntry:
+    """One installed entry: patterns for each key, the action, and its
+    control-plane arguments (by parameter name)."""
+
+    patterns: Tuple[MatchPattern, ...]
+    action: str
+    action_args: Tuple[Tuple[str, Value], ...] = ()
+    priority: int = 0
+
+    def matches(self, key_values: Sequence[Value]) -> bool:
+        if len(self.patterns) != len(key_values):
+            return False
+        return all(p.matches(v) for p, v in zip(self.patterns, key_values))
+
+    def specificity(self) -> int:
+        return sum(p.specificity() for p in self.patterns) + self.priority
+
+    def args_map(self) -> Dict[str, Value]:
+        return dict(self.action_args)
+
+
+@dataclass(frozen=True)
+class ResolvedAction:
+    """The fully-applied action reference returned by the oracle."""
+
+    action: str
+    control_args: Dict[str, Value] = field(default_factory=dict)
+
+
+@dataclass
+class ControlPlane:
+    """The oracle ``C``: installed entries and default actions per table."""
+
+    _entries: Dict[str, List[TableEntry]] = field(default_factory=dict)
+    _defaults: Dict[str, ResolvedAction] = field(default_factory=dict)
+
+    # -- installation --------------------------------------------------------
+
+    def add_entry(self, table: str, entry: TableEntry) -> "ControlPlane":
+        self._entries.setdefault(table, []).append(entry)
+        return self
+
+    def add_exact_entry(
+        self,
+        table: str,
+        key_values: Sequence[int],
+        action: str,
+        action_args: Optional[Dict[str, Value]] = None,
+        priority: int = 0,
+    ) -> "ControlPlane":
+        """Convenience wrapper for the common all-exact-keys case."""
+        entry = TableEntry(
+            tuple(ExactMatch(v) for v in key_values),
+            action,
+            tuple((action_args or {}).items()),
+            priority,
+        )
+        return self.add_entry(table, entry)
+
+    def set_default_action(
+        self, table: str, action: str, action_args: Optional[Dict[str, Value]] = None
+    ) -> "ControlPlane":
+        self._defaults[table] = ResolvedAction(action, dict(action_args or {}))
+        return self
+
+    def entries_for(self, table: str) -> List[TableEntry]:
+        return list(self._entries.get(table, []))
+
+    # -- the oracle itself ------------------------------------------------------
+
+    def resolve(
+        self, table: str, key_values: Sequence[Value], declared_actions: Sequence[str]
+    ) -> Optional[ResolvedAction]:
+        """``C(l, key=val, partial actions) = ActionRef``.
+
+        Returns the matched action with its control-plane arguments, the
+        table's default action when nothing matches, or None when the table
+        has neither (a miss with no default: the apply is a no-op).
+        """
+        best: Optional[TableEntry] = None
+        for entry in self._entries.get(table, []):
+            if entry.action not in declared_actions:
+                raise EvaluationError(
+                    f"control plane installed entry for unknown action "
+                    f"{entry.action!r} in table {table!r}"
+                )
+            if entry.matches(key_values):
+                if best is None or entry.specificity() > best.specificity():
+                    best = entry
+        if best is not None:
+            return ResolvedAction(best.action, best.args_map())
+        default = self._defaults.get(table)
+        if default is not None and default.action not in declared_actions:
+            raise EvaluationError(
+                f"default action {default.action!r} is not declared by table {table!r}"
+            )
+        return default

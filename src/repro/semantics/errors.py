@@ -1,0 +1,19 @@
+"""Runtime errors raised by the interpreter."""
+
+from __future__ import annotations
+
+from repro.syntax.source import SourceSpan
+
+
+class EvaluationError(Exception):
+    """A dynamic error: unknown variable, bad field, non-callable value, ...
+
+    Well-typed programs never raise this (that is what the type system is
+    for); the interpreter raises it eagerly so that bugs in hand-written
+    test programs surface instead of silently producing garbage.
+    """
+
+    def __init__(self, message: str, span: SourceSpan | None = None) -> None:
+        self.span = span or SourceSpan.unknown()
+        super().__init__(f"{self.span}: {message}")
+        self.message = message

@@ -1,0 +1,183 @@
+"""L-value evaluation, reading, and writing (Appendix F and G).
+
+An l-value is a path rooted at a variable: ``x``, ``lval.f`` or
+``lval[n]``.  Writing through an l-value reads the base variable, rebuilds
+the composite value along the path, and stores the result back at the base
+variable's location (``lval_base``), matching the paper's write rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.semantics.errors import EvaluationError
+from repro.semantics.store import Environment, Store
+from repro.semantics.values import (
+    BoolValue,
+    HeaderValue,
+    IntValue,
+    RecordValue,
+    StackValue,
+    Value,
+)
+
+
+@dataclass(frozen=True)
+class LVar:
+    """The base case: a variable."""
+
+    name: str
+
+    def describe(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class LField:
+    """A field projection ``lval.f``."""
+
+    base: "LValue"
+    field_name: str
+
+    def describe(self) -> str:
+        return f"{self.base.describe()}.{self.field_name}"
+
+
+@dataclass(frozen=True)
+class LIndex:
+    """A stack index ``lval[n]`` (the index is already evaluated)."""
+
+    base: "LValue"
+    index: int
+
+    def describe(self) -> str:
+        return f"{self.base.describe()}[{self.index}]"
+
+
+LValue = Union[LVar, LField, LIndex]
+
+
+def lval_base(lvalue: LValue) -> str:
+    """The base variable touched when writing to ``lvalue``."""
+    while not isinstance(lvalue, LVar):
+        lvalue = lvalue.base
+    return lvalue.name
+
+
+def zero_like(value: Value) -> Value:
+    """A zeroed value with the same shape as ``value`` (used for havoc)."""
+    if isinstance(value, BoolValue):
+        return BoolValue(False)
+    if isinstance(value, IntValue):
+        return IntValue(0, value.width)
+    if isinstance(value, RecordValue):
+        return RecordValue(tuple((n, zero_like(v)) for n, v in value.fields))
+    if isinstance(value, HeaderValue):
+        return HeaderValue(
+            tuple((n, zero_like(v)) for n, v in value.fields), value.valid
+        )
+    if isinstance(value, StackValue):
+        return StackValue(tuple(zero_like(v) for v in value.elements))
+    return value
+
+
+def read_lvalue(lvalue: LValue, env: Environment, store: Store) -> Value:
+    """Evaluate an already-normalised l-value to the value it denotes."""
+    if isinstance(lvalue, LVar):
+        return store.read(env.require(lvalue.name))
+    base = read_lvalue(lvalue.base, env, store)
+    if isinstance(lvalue, LField):
+        if not isinstance(base, (RecordValue, HeaderValue)):
+            raise EvaluationError(
+                f"cannot read field {lvalue.field_name!r} of {base.describe()}"
+            )
+        value = base.get(lvalue.field_name)
+        if value is None:
+            raise EvaluationError(
+                f"value {base.describe()} has no field {lvalue.field_name!r}"
+            )
+        return value
+    if isinstance(lvalue, LIndex):
+        if not isinstance(base, StackValue):
+            raise EvaluationError(f"cannot index into {base.describe()}")
+        element = base.get(lvalue.index)
+        if element is None:
+            # Out-of-bounds read: havoc, modelled deterministically as a
+            # zeroed element (see values.havoc_value).
+            return zero_like(base.elements[0]) if base.elements else base
+        return element
+    raise EvaluationError(f"malformed l-value {lvalue!r}")
+
+
+def _updated(base: Value, lvalue: LValue, new_value: Value) -> Value:
+    """Rebuild ``base`` (the value of some prefix path) with the update applied."""
+    if isinstance(lvalue, LVar):
+        return new_value
+    parent = lvalue.base
+    if isinstance(lvalue, LField):
+        def rebuild(parent_value: Value) -> Value:
+            if not isinstance(parent_value, (RecordValue, HeaderValue)):
+                raise EvaluationError(
+                    f"cannot write field {lvalue.field_name!r} of "
+                    f"{parent_value.describe()}"
+                )
+            if parent_value.get(lvalue.field_name) is None:
+                raise EvaluationError(
+                    f"value {parent_value.describe()} has no field "
+                    f"{lvalue.field_name!r}"
+                )
+            return parent_value.set(lvalue.field_name, new_value)
+
+        return _rebuild_along(base, parent, rebuild)
+    if isinstance(lvalue, LIndex):
+        def rebuild(parent_value: Value) -> Value:
+            if not isinstance(parent_value, StackValue):
+                raise EvaluationError(f"cannot index into {parent_value.describe()}")
+            if not (0 <= lvalue.index < len(parent_value.elements)):
+                # Out-of-bounds write: no-op, mirroring the havoc read.
+                return parent_value
+            return parent_value.set(lvalue.index, new_value)
+
+        return _rebuild_along(base, parent, rebuild)
+    raise EvaluationError(f"malformed l-value {lvalue!r}")
+
+
+def _rebuild_along(base: Value, path: LValue, rebuild) -> Value:
+    """Apply ``rebuild`` to the value denoted by ``path`` inside ``base``."""
+    if isinstance(path, LVar):
+        return rebuild(base)
+    if isinstance(path, LField):
+        def inner(parent_value: Value) -> Value:
+            if not isinstance(parent_value, (RecordValue, HeaderValue)):
+                raise EvaluationError(
+                    f"cannot traverse field {path.field_name!r} of "
+                    f"{parent_value.describe()}"
+                )
+            child = parent_value.get(path.field_name)
+            if child is None:
+                raise EvaluationError(
+                    f"value {parent_value.describe()} has no field {path.field_name!r}"
+                )
+            return parent_value.set(path.field_name, rebuild(child))
+
+        return _rebuild_along(base, path.base, inner)
+    if isinstance(path, LIndex):
+        def inner(parent_value: Value) -> Value:
+            if not isinstance(parent_value, StackValue):
+                raise EvaluationError(f"cannot index into {parent_value.describe()}")
+            if not (0 <= path.index < len(parent_value.elements)):
+                return parent_value
+            child = parent_value.elements[path.index]
+            return parent_value.set(path.index, rebuild(child))
+
+        return _rebuild_along(base, path.base, inner)
+    raise EvaluationError(f"malformed l-value path {path!r}")
+
+
+def write_lvalue(lvalue: LValue, value: Value, env: Environment, store: Store) -> None:
+    """Write ``value`` through ``lvalue`` (Appendix G's ⇓_write)."""
+    base_name = lval_base(lvalue)
+    location = env.require(base_name)
+    base_value = store.read(location)
+    store.write(location, _updated(base_value, lvalue, value))

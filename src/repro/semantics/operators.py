@@ -1,0 +1,92 @@
+"""Evaluation of binary and unary operations on runtime values.
+
+The evaluation function ``E(⊕, v1, v2)`` of the paper is deterministic:
+equal inputs give equal outputs, which the non-interference proof (and our
+differential harness) relies on.  Fixed-width arithmetic wraps modulo
+``2^width``; division and modulo by zero produce zero, the deterministic
+choice BMv2 makes for its undefined cases.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.semantics.errors import EvaluationError
+from repro.semantics.values import BoolValue, IntValue, Value
+
+
+def _numeric(value: Value, op: str) -> IntValue:
+    if isinstance(value, IntValue):
+        return value
+    if isinstance(value, BoolValue):
+        return IntValue(int(value.value), 1)
+    raise EvaluationError(f"operator {op!r} applied to non-numeric {value.describe()}")
+
+
+def _result_width(left: IntValue, right: IntValue) -> Optional[int]:
+    if left.width is not None:
+        return left.width
+    return right.width
+
+
+def eval_binary(op: str, left: Value, right: Value) -> Value:
+    """``E(⊕, v1, v2)``."""
+    if op in ("&&", "||"):
+        if not isinstance(left, BoolValue) or not isinstance(right, BoolValue):
+            raise EvaluationError(f"operator {op!r} needs boolean operands")
+        if op == "&&":
+            return BoolValue(left.value and right.value)
+        return BoolValue(left.value or right.value)
+
+    if op in ("==", "!="):
+        if isinstance(left, BoolValue) and isinstance(right, BoolValue):
+            equal = left.value == right.value
+        else:
+            equal = _numeric(left, op).value == _numeric(right, op).value
+        return BoolValue(equal if op == "==" else not equal)
+
+    left_num = _numeric(left, op)
+    right_num = _numeric(right, op)
+    a, b = left_num.value, right_num.value
+    width = _result_width(left_num, right_num)
+
+    if op in ("<", ">", "<=", ">="):
+        table = {"<": a < b, ">": a > b, "<=": a <= b, ">=": a >= b}
+        return BoolValue(table[op])
+    if op == "+":
+        return IntValue(a + b, width)
+    if op == "-":
+        return IntValue(a - b, width)
+    if op == "*":
+        return IntValue(a * b, width)
+    if op == "/":
+        return IntValue(0 if b == 0 else a // b, width)
+    if op == "%":
+        return IntValue(0 if b == 0 else a % b, width)
+    if op == "&":
+        return IntValue(a & b, width)
+    if op == "|":
+        return IntValue(a | b, width)
+    if op == "^":
+        return IntValue(a ^ b, width)
+    if op == "<<":
+        return IntValue(a << min(b, 1 << 10), width)
+    if op == ">>":
+        return IntValue(a >> min(b, 1 << 10), width)
+    raise EvaluationError(f"unknown binary operator {op!r}")
+
+
+def eval_unary(op: str, operand: Value) -> Value:
+    """Evaluate a unary operation."""
+    if op == "!":
+        if not isinstance(operand, BoolValue):
+            raise EvaluationError("operator '!' needs a boolean operand")
+        return BoolValue(not operand.value)
+    value = _numeric(operand, op)
+    if op == "-":
+        return IntValue(-value.value, value.width)
+    if op == "~":
+        if value.width is None:
+            return IntValue(~value.value, None)
+        return IntValue(~value.value, value.width)
+    raise EvaluationError(f"unknown unary operator {op!r}")

@@ -1,0 +1,47 @@
+"""Control-flow signals ``sig``: continue, exit, or return a value."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.semantics.values import UnitValue, Value
+
+
+class SignalKind(enum.Enum):
+    CONT = "cont"
+    EXIT = "exit"
+    RETURN = "return"
+
+
+@dataclass(frozen=True)
+class Signal:
+    """The result of evaluating a statement or declaration."""
+
+    kind: SignalKind
+    value: Optional[Value] = None
+
+    @classmethod
+    def cont(cls) -> "Signal":
+        return cls(SignalKind.CONT)
+
+    @classmethod
+    def exit(cls) -> "Signal":
+        return cls(SignalKind.EXIT)
+
+    @classmethod
+    def ret(cls, value: Optional[Value] = None) -> "Signal":
+        return cls(SignalKind.RETURN, value if value is not None else UnitValue())
+
+    @property
+    def is_cont(self) -> bool:
+        return self.kind is SignalKind.CONT
+
+    @property
+    def is_exit(self) -> bool:
+        return self.kind is SignalKind.EXIT
+
+    @property
+    def is_return(self) -> bool:
+        return self.kind is SignalKind.RETURN

@@ -1,0 +1,93 @@
+"""Memory stores μ and environments ε.
+
+The store maps fresh locations to values; environments map variable names
+to locations and are chained so statement blocks and closure bodies extend
+the enclosing scope without mutating it (mirroring how the evaluation
+judgements thread ``ε ⊆ ε'``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional
+
+from repro.semantics.errors import EvaluationError
+from repro.semantics.values import Value
+
+#: Store locations are opaque integers.
+Location = int
+
+
+@dataclass
+class Store:
+    """The memory store μ : Location -> Value."""
+
+    _cells: Dict[Location, Value] = field(default_factory=dict)
+    _counter: Iterator[int] = field(default_factory=itertools.count)
+
+    def fresh(self, value: Value) -> Location:
+        """Allocate a fresh location holding ``value``."""
+        location = next(self._counter)
+        self._cells[location] = value
+        return location
+
+    def read(self, location: Location) -> Value:
+        if location not in self._cells:
+            raise EvaluationError(f"read from unallocated location {location}")
+        return self._cells[location]
+
+    def write(self, location: Location, value: Value) -> None:
+        if location not in self._cells:
+            raise EvaluationError(f"write to unallocated location {location}")
+        self._cells[location] = value
+
+    def __contains__(self, location: Location) -> bool:
+        return location in self._cells
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def snapshot(self) -> Dict[Location, Value]:
+        """A shallow copy of the cells (values are immutable)."""
+        return dict(self._cells)
+
+
+@dataclass
+class Environment:
+    """The environment ε : Var -> Location, with lexical scoping."""
+
+    _bindings: Dict[str, Location] = field(default_factory=dict)
+    _parent: Optional["Environment"] = None
+
+    def bind(self, name: str, location: Location) -> None:
+        self._bindings[name] = location
+
+    def lookup(self, name: str) -> Optional[Location]:
+        if name in self._bindings:
+            return self._bindings[name]
+        if self._parent is not None:
+            return self._parent.lookup(name)
+        return None
+
+    def require(self, name: str) -> Location:
+        location = self.lookup(name)
+        if location is None:
+            raise EvaluationError(f"unknown variable {name!r}")
+        return location
+
+    def __contains__(self, name: str) -> bool:
+        return self.lookup(name) is not None
+
+    def child(self) -> "Environment":
+        return Environment(_parent=self)
+
+    def names(self) -> Iterator[str]:
+        seen = set()
+        scope: Optional[Environment] = self
+        while scope is not None:
+            for name in scope._bindings:
+                if name not in seen:
+                    seen.add(name)
+                    yield name
+            scope = scope._parent

@@ -1,0 +1,220 @@
+"""Core P4 declarations (Figure 1c/1d).
+
+::
+
+    decl      ::= var_decl | obj_decl | typ_decl
+    var_decl  ::= τ x := exp | τ x
+    typ_decl  ::= match_kind { f } | typedef τ X
+    obj_decl  ::= table x { key act }
+                | function τ_ret x (d y : τ) { stmt }
+    d         ::= in | inout
+    key       ::= exp : x
+    act       ::= x(exp, x : τ)
+
+On top of the calculus we keep the P4 surface constructs the case studies
+need: ``header`` / ``struct`` type declarations (which introduce named
+record/header types, i.e. typedefs) and ``control`` blocks (the
+``ctrl_body`` of the grammar: local declarations plus an ``apply`` block).
+Actions are functions whose return type is ``unit``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.syntax.expressions import Expression
+from repro.syntax.source import SourceSpan
+from repro.syntax.statements import Block
+from repro.syntax.types import AnnotatedType, Field
+
+
+class Direction(str, enum.Enum):
+    """Parameter directionality ``d``.
+
+    ``NONE`` models directionless parameters, which default to ``in`` for
+    typing purposes but are supplied by the control plane when the action is
+    invoked from a table (the paper's "optional arguments").
+    """
+
+    IN = "in"
+    INOUT = "inout"
+    OUT = "out"
+    NONE = ""
+
+    def readable(self) -> bool:
+        return True
+
+    def writable(self) -> bool:
+        return self in (Direction.INOUT, Direction.OUT)
+
+    def effective(self) -> "Direction":
+        """The direction used by the typing rules (directionless -> in)."""
+        return Direction.IN if self is Direction.NONE else self
+
+
+@dataclass(frozen=True, slots=True)
+class Declaration:
+    """Base class for every declaration node."""
+
+    span: SourceSpan = field(default_factory=SourceSpan.unknown, kw_only=True)
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+@dataclass(frozen=True, slots=True)
+class VarDecl(Declaration):
+    """``τ x`` or ``τ x := exp``."""
+
+    ty: AnnotatedType
+    name: str
+    init: Optional[Expression] = None
+
+    def describe(self) -> str:
+        if self.init is None:
+            return f"{self.ty.describe()} {self.name};"
+        return f"{self.ty.describe()} {self.name} = {self.init.describe()};"
+
+
+@dataclass(frozen=True, slots=True)
+class TypedefDecl(Declaration):
+    """``typedef τ X`` -- introduce ``X`` as an alias for ``τ``."""
+
+    ty: AnnotatedType
+    name: str
+
+    def describe(self) -> str:
+        return f"typedef {self.ty.describe()} {self.name};"
+
+
+@dataclass(frozen=True, slots=True)
+class MatchKindDecl(Declaration):
+    """``match_kind { exact, lpm, ternary }``."""
+
+    members: Tuple[str, ...]
+
+    def describe(self) -> str:
+        return "match_kind {" + ", ".join(self.members) + "}"
+
+
+@dataclass(frozen=True, slots=True)
+class HeaderDecl(Declaration):
+    """``header X { fields }`` -- a named header type."""
+
+    name: str
+    fields: Tuple[Field, ...]
+
+    def describe(self) -> str:
+        return f"header {self.name} {{...}}"
+
+
+@dataclass(frozen=True, slots=True)
+class StructDecl(Declaration):
+    """``struct X { fields }`` -- a named record type."""
+
+    name: str
+    fields: Tuple[Field, ...]
+
+    def describe(self) -> str:
+        return f"struct {self.name} {{...}}"
+
+
+@dataclass(frozen=True, slots=True)
+class Param(Declaration):
+    """A declared parameter ``d y : τ`` of a function or control."""
+
+    direction: Direction
+    name: str
+    ty: AnnotatedType
+
+    def describe(self) -> str:
+        d = self.direction.value
+        prefix = f"{d} " if d else ""
+        return f"{prefix}{self.ty.describe()} {self.name}"
+
+
+@dataclass(frozen=True, slots=True)
+class FunctionDecl(Declaration):
+    """``function τ_ret x (d y : τ) { stmt }``.
+
+    Actions are the special case where ``return_type`` is ``None`` (unit).
+    ``is_action`` records the surface keyword so the pretty printer can
+    round-trip programs faithfully.
+    """
+
+    name: str
+    params: Tuple[Param, ...]
+    body: Block
+    return_type: Optional[AnnotatedType] = None
+    is_action: bool = True
+
+    def describe(self) -> str:
+        keyword = "action" if self.is_action else "function"
+        params = ", ".join(p.describe() for p in self.params)
+        return f"{keyword} {self.name}({params}) {{...}}"
+
+
+@dataclass(frozen=True, slots=True)
+class TableKey(Declaration):
+    """One table key ``exp : match_kind_name``."""
+
+    expression: Expression
+    match_kind: str
+
+    def describe(self) -> str:
+        return f"{self.expression.describe()}: {self.match_kind}"
+
+
+@dataclass(frozen=True, slots=True)
+class ActionRef(Declaration):
+    """A reference to an action from a table's action list.
+
+    ``arguments`` are the directional arguments supplied at declaration
+    time (the ``exp`` in ``act ::= x(exp, x : τ)``); any remaining
+    directionless parameters of the action are filled in by the control
+    plane at match time.
+    """
+
+    name: str
+    arguments: Tuple[Expression, ...] = ()
+
+    def describe(self) -> str:
+        if not self.arguments:
+            return self.name
+        args = ", ".join(a.describe() for a in self.arguments)
+        return f"{self.name}({args})"
+
+
+@dataclass(frozen=True, slots=True)
+class TableDecl(Declaration):
+    """``table x { key = {...} actions = {...} }``."""
+
+    name: str
+    keys: Tuple[TableKey, ...]
+    actions: Tuple[ActionRef, ...]
+
+    def describe(self) -> str:
+        return f"table {self.name} {{...}}"
+
+
+@dataclass(frozen=True, slots=True)
+class ControlDecl(Declaration):
+    """A control block: parameters, local declarations, and an apply block.
+
+    This is the ``ctrl_body`` of the paper's grammar (``decl stmt``) plus
+    the parameter list P4 controls carry (typically the parsed headers and
+    the standard metadata).  ``pc_label`` records an optional annotation
+    ``@pc(A)`` used by the isolation case study to typecheck a control block
+    under a non-bottom program counter.
+    """
+
+    name: str
+    params: Tuple[Param, ...]
+    local_declarations: Tuple[Declaration, ...]
+    apply_block: Block
+    pc_label: Optional[str] = None
+
+    def describe(self) -> str:
+        return f"control {self.name} {{...}}"

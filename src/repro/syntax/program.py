@@ -1,0 +1,51 @@
+"""Whole programs: top-level declarations plus control blocks.
+
+The paper's grammar has ``prg ::= typ_decl ctrl_body``; real P4 programs
+contain several top-level type declarations and possibly more than one
+control block (the isolation case study has both an Alice and a Bob
+control), so :class:`Program` holds a list of each.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Tuple
+
+from repro.syntax.declarations import ControlDecl, Declaration
+from repro.syntax.source import SourceSpan
+
+
+@dataclass(frozen=True, slots=True)
+class Program:
+    """A parsed program: type/object declarations followed by controls."""
+
+    declarations: Tuple[Declaration, ...] = ()
+    controls: Tuple[ControlDecl, ...] = ()
+    span: SourceSpan = field(default_factory=SourceSpan.unknown)
+    name: str = "<program>"
+
+    def control_named(self, name: str) -> Optional[ControlDecl]:
+        """The control block called ``name``, or None."""
+        for control in self.controls:
+            if control.name == name:
+                return control
+        return None
+
+    def iter_declarations(self) -> Iterator[Declaration]:
+        """All top-level declarations, then each control's locals."""
+        yield from self.declarations
+        for control in self.controls:
+            yield from control.local_declarations
+
+    def main_control(self) -> ControlDecl:
+        """The single control block most programs have.
+
+        Raises ``ValueError`` when the program has zero or several controls;
+        callers that support multi-control programs should iterate
+        ``self.controls`` instead.
+        """
+        if len(self.controls) != 1:
+            raise ValueError(
+                f"expected exactly one control block, found {len(self.controls)}"
+            )
+        return self.controls[0]

@@ -1,0 +1,61 @@
+"""Source positions and spans for diagnostics.
+
+Every AST node carries an optional :class:`SourceSpan` so that both the
+ordinary type checker and the IFC checker can report errors at the precise
+location of the offending expression, mirroring how P4BID extends p4c's
+diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Position:
+    """A 1-based line/column position in a source file."""
+
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.column}"
+
+
+@dataclass(frozen=True, slots=True)
+class SourceSpan:
+    """A half-open region of source text, with an optional file name."""
+
+    start: Position
+    end: Position
+    filename: str = "<input>"
+
+    @classmethod
+    def unknown(cls) -> "SourceSpan":
+        """A placeholder span for synthesised nodes (tests, builders)."""
+        return cls(Position(0, 0), Position(0, 0), "<synthesised>")
+
+    @classmethod
+    def point(cls, line: int, column: int, filename: str = "<input>") -> "SourceSpan":
+        """A zero-width span at a single position."""
+        return cls(Position(line, column), Position(line, column), filename)
+
+    def merge(self, other: "SourceSpan") -> "SourceSpan":
+        """The smallest span covering both ``self`` and ``other``."""
+        if self.is_unknown():
+            return other
+        if other.is_unknown():
+            return self
+        start = min(
+            (self.start, other.start), key=lambda p: (p.line, p.column)
+        )
+        end = max((self.end, other.end), key=lambda p: (p.line, p.column))
+        return SourceSpan(start, end, self.filename)
+
+    def is_unknown(self) -> bool:
+        return self.start.line == 0
+
+    def __str__(self) -> str:
+        if self.is_unknown():
+            return "<unknown>"
+        return f"{self.filename}:{self.start}"

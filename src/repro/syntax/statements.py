@@ -1,0 +1,114 @@
+"""Core P4 statements (Figure 1b).
+
+::
+
+    stmt ::= exp1(exp2)                 function call
+           | exp1 := exp2               assignment
+           | if (exp) stmt1 else stmt2  conditional
+           | { stmt }                   sequencing
+           | exit                       exit
+           | return exp                 return
+           | var_decl                   variable declaration
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple, TYPE_CHECKING
+
+from repro.syntax.expressions import Call, Expression
+from repro.syntax.source import SourceSpan
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.syntax.declarations import VarDecl
+
+
+@dataclass(frozen=True, slots=True)
+class Statement:
+    """Base class for every statement node."""
+
+    span: SourceSpan = field(default_factory=SourceSpan.unknown, kw_only=True)
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+@dataclass(frozen=True, slots=True)
+class CallStmt(Statement):
+    """A call used as a statement (action invocation or table apply)."""
+
+    call: Call
+
+    def describe(self) -> str:
+        return self.call.describe() + ";"
+
+
+@dataclass(frozen=True, slots=True)
+class Assign(Statement):
+    """Assignment ``exp1 := exp2`` (surface spelling ``lhs = rhs;``)."""
+
+    target: Expression
+    value: Expression
+
+    def describe(self) -> str:
+        return f"{self.target.describe()} = {self.value.describe()};"
+
+
+@dataclass(frozen=True, slots=True)
+class If(Statement):
+    """Conditional ``if (exp) stmt1 else stmt2``.
+
+    A missing else branch is represented by an empty :class:`Block`, which
+    matches the typing rule's treatment (the empty block types under any
+    pc).
+    """
+
+    condition: Expression
+    then_branch: "Block"
+    else_branch: "Block"
+
+    def describe(self) -> str:
+        return f"if ({self.condition.describe()}) ... else ..."
+
+
+@dataclass(frozen=True, slots=True)
+class Block(Statement):
+    """A brace-enclosed sequence of statements ``{ stmt }``."""
+
+    statements: Tuple[Statement, ...] = ()
+
+    def describe(self) -> str:
+        return "{ " + " ".join(s.describe() for s in self.statements) + " }"
+
+    def is_empty(self) -> bool:
+        return not self.statements
+
+
+@dataclass(frozen=True, slots=True)
+class Exit(Statement):
+    """``exit;`` -- abort packet processing."""
+
+    def describe(self) -> str:
+        return "exit;"
+
+
+@dataclass(frozen=True, slots=True)
+class Return(Statement):
+    """``return exp;`` (or bare ``return;`` for unit-returning actions)."""
+
+    value: Optional[Expression] = None
+
+    def describe(self) -> str:
+        if self.value is None:
+            return "return;"
+        return f"return {self.value.describe()};"
+
+
+@dataclass(frozen=True, slots=True)
+class VarDeclStmt(Statement):
+    """A variable declaration used in statement position."""
+
+    declaration: "VarDecl"
+
+    def describe(self) -> str:
+        return self.declaration.describe()

@@ -1,0 +1,96 @@
+"""Generic AST traversal utilities.
+
+:func:`children` returns the direct AST children of a node, :func:`walk`
+yields a pre-order traversal, and :class:`AstVisitor` is a small
+double-dispatch base class used by the pretty printer and by analyses that
+want per-node hooks without writing their own recursion.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List
+
+from repro.syntax import declarations as d
+from repro.syntax import expressions as e
+from repro.syntax import statements as s
+from repro.syntax.program import Program
+
+AstNode = Any
+
+
+def children(node: AstNode) -> List[AstNode]:
+    """The direct AST children of ``node`` (expressions, statements, decls)."""
+    result: List[AstNode] = []
+    if isinstance(node, Program):
+        result.extend(node.declarations)
+        result.extend(node.controls)
+    elif isinstance(node, d.ControlDecl):
+        result.extend(node.params)
+        result.extend(node.local_declarations)
+        result.append(node.apply_block)
+    elif isinstance(node, d.FunctionDecl):
+        result.extend(node.params)
+        result.append(node.body)
+    elif isinstance(node, d.TableDecl):
+        result.extend(node.keys)
+        result.extend(node.actions)
+    elif isinstance(node, d.TableKey):
+        result.append(node.expression)
+    elif isinstance(node, d.ActionRef):
+        result.extend(node.arguments)
+    elif isinstance(node, d.VarDecl):
+        if node.init is not None:
+            result.append(node.init)
+    elif isinstance(node, s.Block):
+        result.extend(node.statements)
+    elif isinstance(node, s.If):
+        result.extend([node.condition, node.then_branch, node.else_branch])
+    elif isinstance(node, s.Assign):
+        result.extend([node.target, node.value])
+    elif isinstance(node, s.CallStmt):
+        result.append(node.call)
+    elif isinstance(node, s.Return):
+        if node.value is not None:
+            result.append(node.value)
+    elif isinstance(node, s.VarDeclStmt):
+        result.append(node.declaration)
+    elif isinstance(node, e.BinaryOp):
+        result.extend([node.left, node.right])
+    elif isinstance(node, e.UnaryOp):
+        result.append(node.operand)
+    elif isinstance(node, e.Index):
+        result.extend([node.array, node.index])
+    elif isinstance(node, e.FieldAccess):
+        result.append(node.target)
+    elif isinstance(node, e.Call):
+        result.append(node.callee)
+        result.extend(node.arguments)
+    elif isinstance(node, e.RecordLiteral):
+        result.extend(expr for _, expr in node.fields)
+    return result
+
+
+def walk(node: AstNode) -> Iterator[AstNode]:
+    """Pre-order traversal of the AST rooted at ``node``."""
+    yield node
+    for child in children(node):
+        yield from walk(child)
+
+
+class AstVisitor:
+    """Double-dispatch visitor: ``visit`` calls ``visit_<ClassName>``.
+
+    Subclasses override the per-class hooks they care about; the default
+    hook recurses into the children and returns None.
+    """
+
+    def visit(self, node: AstNode) -> Any:
+        method = getattr(self, f"visit_{type(node).__name__}", None)
+        if method is not None:
+            return method(node)
+        return self.generic_visit(node)
+
+    def generic_visit(self, node: AstNode) -> Any:
+        for child in children(node):
+            self.visit(child)
+        return None

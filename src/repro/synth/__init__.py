@@ -1,0 +1,19 @@
+"""Synthetic program generation.
+
+Used by the ablation benchmarks (checker cost vs program size and vs
+lattice height) and by the property-based tests that validate the
+soundness claim empirically: any randomly generated program the checker
+accepts must pass the differential non-interference harness.
+"""
+
+from repro.synth.programs import (
+    chain_pipeline_program,
+    random_straightline_program,
+    wide_table_program,
+)
+
+__all__ = [
+    "chain_pipeline_program",
+    "random_straightline_program",
+    "wide_table_program",
+]

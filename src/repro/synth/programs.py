@@ -1,0 +1,190 @@
+"""Generators for synthetic annotated P4 programs.
+
+Three families:
+
+* :func:`random_straightline_program` -- random mixes of assignments and
+  conditionals over a small header with one field per security level.
+  Some generated programs leak and get rejected, others are safe and get
+  accepted; the soundness property test checks that every *accepted* one
+  passes the differential non-interference harness.
+* :func:`chain_pipeline_program` -- a deterministic "telemetry pipeline"
+  over a chain lattice of arbitrary height: level ``i`` aggregates into
+  level ``i+1``.  Always well-typed; used by the lattice-size ablation.
+* :func:`wide_table_program` -- a control block with many actions and
+  tables; used by the program-size ablation alongside the D2R unrolling.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+
+def _header_for_levels(levels: Sequence[str], width: int = 8) -> str:
+    fields = "\n".join(
+        f"    <bit<{width}>, {level}> f_{level};" for level in levels
+    )
+    return f"header data_t {{\n{fields}\n}}\n\nstruct headers {{ data_t data; }}\n"
+
+
+def random_straightline_program(
+    seed: int,
+    *,
+    statements: int = 8,
+    levels: Sequence[str] = ("low", "high"),
+    max_depth: int = 2,
+) -> str:
+    """A random program over one field per security level.
+
+    Statements are assignments between fields (possibly through arithmetic)
+    and conditionals whose guards mention arbitrary fields, so both legal
+    flows and explicit/implicit leaks are generated.
+    """
+    rng = random.Random(seed)
+    levels = list(levels)
+
+    def field(level: str) -> str:
+        return f"hdr.data.f_{level}"
+
+    def source_level(upper_index: int) -> str:
+        # Mostly pick sources at or below the target's level so a healthy
+        # fraction of generated programs is leak-free; occasionally pick any
+        # level so explicit flows are generated too.
+        if rng.random() < 0.8:
+            return levels[rng.randrange(0, upper_index + 1)]
+        return rng.choice(levels)
+
+    def expression(target_index: int) -> str:
+        choice = rng.random()
+        if choice < 0.3:
+            return str(rng.randrange(0, 200))
+        source = field(source_level(target_index))
+        if choice < 0.7:
+            return source
+        other = field(source_level(target_index))
+        op = rng.choice(["+", "-", "&", "|", "^"])
+        return f"({source} {op} {other})"
+
+    def statement(depth: int, pc_index: int) -> List[str]:
+        pad = "        " + "    " * depth
+        if depth < max_depth and rng.random() < 0.3:
+            # Mostly branch on low guards (safe); sometimes on anything.
+            if rng.random() < 0.7:
+                guard_index = pc_index
+            else:
+                guard_index = rng.randrange(len(levels))
+            guard = f"{field(levels[guard_index])} > {rng.randrange(0, 200)}"
+            inner_pc = max(pc_index, guard_index)
+            inner = statement(depth + 1, inner_pc) + statement(depth + 1, inner_pc)
+            return (
+                [f"{pad}if ({guard}) {{"]
+                + inner
+                + [f"{pad}}} else {{"]
+                + statement(depth + 1, inner_pc)
+                + [f"{pad}}}"]
+            )
+        # Mostly write at or above the current pc level (safe); sometimes not.
+        if rng.random() < 0.8:
+            target_index = rng.randrange(pc_index, len(levels))
+        else:
+            target_index = rng.randrange(len(levels))
+        target = field(levels[target_index])
+        return [f"{pad}{target} = {expression(target_index)};"]
+
+    body: List[str] = []
+    for _ in range(statements):
+        body.extend(statement(0, 0))
+    return (
+        _header_for_levels(levels)
+        + "\ncontrol Synth_Ingress(inout headers hdr) {\n    apply {\n"
+        + "\n".join(body)
+        + "\n    }\n}\n"
+    )
+
+
+def chain_pipeline_program(levels: Sequence[str], *, rounds: int = 1) -> str:
+    """A telemetry pipeline over a clearance chain (always well-typed).
+
+    Each round aggregates every level's counter into the next higher
+    level's counter -- only upward flows, so the program is accepted for
+    the chain lattice with the given levels, whatever its height.
+    """
+    levels = list(levels)
+    lines: List[str] = []
+    for _ in range(max(1, rounds)):
+        for lower, upper in zip(levels, levels[1:]):
+            lines.append(
+                f"        hdr.data.f_{upper} = hdr.data.f_{upper} + hdr.data.f_{lower};"
+            )
+    return (
+        _header_for_levels(levels, width=32)
+        + "\ncontrol Pipeline_Ingress(inout headers hdr) {\n    apply {\n"
+        + "\n".join(lines)
+        + "\n    }\n}\n"
+    )
+
+
+def wide_table_program(
+    *,
+    tables: int = 4,
+    actions_per_table: int = 4,
+    keys_per_table: int = 2,
+    secure: bool = True,
+    seed: Optional[int] = None,
+) -> str:
+    """A control block with many match-action tables.
+
+    Every action writes a distinct low field; keys are low in the secure
+    variant and high in the insecure one (so the insecure variant triggers
+    ``tables * actions_per_table`` table-key violations -- useful both for
+    checker stress tests and for measuring how T-TblDecl's key x action
+    constraint checking scales).
+    """
+    rng = random.Random(seed or 0)
+    key_label = "low" if secure else "high"
+    header_fields = ["    <bit<32>, low> out_value;", "    <bit<8>, low> ttl;"]
+    for table_index in range(tables):
+        for key_index in range(keys_per_table):
+            header_fields.append(
+                f"    <bit<32>, {key_label}> key_{table_index}_{key_index};"
+            )
+    header = (
+        "header wide_t {\n" + "\n".join(header_fields) + "\n}\n\n"
+        "struct headers { wide_t wide; }\n"
+    )
+
+    decls: List[str] = []
+    applies: List[str] = []
+    for table_index in range(tables):
+        action_names = []
+        for action_index in range(actions_per_table):
+            name = f"act_{table_index}_{action_index}"
+            action_names.append(name)
+            constant = rng.randrange(1, 255)
+            decls.append(
+                f"    action {name}() {{\n"
+                f"        hdr.wide.out_value = {constant};\n"
+                f"        hdr.wide.ttl = hdr.wide.ttl - 1;\n"
+                f"    }}"
+            )
+        keys = "\n".join(
+            f"            hdr.wide.key_{table_index}_{key_index}: exact;"
+            for key_index in range(keys_per_table)
+        )
+        actions = "; ".join(action_names)
+        decls.append(
+            f"    table tbl_{table_index} {{\n"
+            f"        key = {{\n{keys}\n        }}\n"
+            f"        actions = {{ {actions}; }}\n"
+            f"    }}"
+        )
+        applies.append(f"        tbl_{table_index}.apply();")
+
+    return (
+        header
+        + "\ncontrol Wide_Ingress(inout headers hdr) {\n"
+        + "\n".join(decls)
+        + "\n    apply {\n"
+        + "\n".join(applies)
+        + "\n    }\n}\n"
+    )

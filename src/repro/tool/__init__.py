@@ -1,0 +1,21 @@
+"""The P4BID tool: pipeline, report formatting, and command line interface."""
+
+from repro.tool.pipeline import CheckReport, check_program, check_source
+from repro.tool.report import format_report
+from repro.tool.summary import (
+    ProgramSummary,
+    format_summary,
+    summarise_program,
+    summarise_report,
+)
+
+__all__ = [
+    "CheckReport",
+    "check_program",
+    "check_source",
+    "format_report",
+    "ProgramSummary",
+    "format_summary",
+    "summarise_program",
+    "summarise_report",
+]

@@ -1,0 +1,112 @@
+"""Command line interface: ``p4bid [options] program.p4``.
+
+Exit status is 0 when every checked program is accepted, 1 when any program
+is rejected (type error or information-flow violation), and 2 on usage or
+I/O errors -- the conventions a build system expects from a checker.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.lattice.registry import available_lattices, get_lattice
+from repro.tool.pipeline import check_source
+from repro.tool.report import format_report, report_to_json
+from repro.tool.summary import format_summary, summarise_report
+from repro.version import __version__
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="p4bid",
+        description=(
+            "P4BID: an information-flow control type checker for the Core P4 "
+            "fragment (reproduction of PLDI 2022)."
+        ),
+    )
+    parser.add_argument("files", nargs="+", help="annotated P4 source files to check")
+    parser.add_argument(
+        "--lattice",
+        default="two-point",
+        help=(
+            "security lattice to check against "
+            f"(available: {', '.join(available_lattices())}, or chain-N)"
+        ),
+    )
+    parser.add_argument(
+        "--core-only",
+        action="store_true",
+        help="run only the ordinary type checker (the unannotated p4c baseline)",
+    )
+    parser.add_argument(
+        "--allow-declassify",
+        action="store_true",
+        help=(
+            "honour the audited declassify()/endorse() primitives instead of "
+            "reporting them as violations"
+        ),
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit a JSON report instead of text"
+    )
+    parser.add_argument(
+        "--summary",
+        action="store_true",
+        help="also print the program's security interface (per-field labels, bounds)",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also print inferred action and table write bounds",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"p4bid {__version__}"
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_arg_parser()
+    args = parser.parse_args(argv)
+    exit_code = 0
+    outputs: List[str] = []
+    for file_name in args.files:
+        path = Path(file_name)
+        try:
+            source = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            print(f"p4bid: cannot read {file_name}: {exc}", file=sys.stderr)
+            return 2
+        report = check_source(
+            source,
+            args.lattice,
+            include_ifc=not args.core_only,
+            allow_declassification=args.allow_declassify,
+            filename=str(path),
+            name=path.stem,
+        )
+        if args.json:
+            payload = json.loads(report_to_json(report))
+            if args.summary:
+                summary = summarise_report(report, get_lattice(args.lattice))
+                payload["summary"] = summary.as_dict() if summary else None
+            outputs.append(json.dumps(payload, indent=2))
+        else:
+            text = format_report(report, verbose=args.verbose)
+            if args.summary:
+                summary = summarise_report(report, get_lattice(args.lattice))
+                if summary is not None:
+                    text += "\n" + format_summary(summary)
+            outputs.append(text)
+        if not report.ok:
+            exit_code = 1
+    print("\n\n".join(outputs))
+    return exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the console script
+    sys.exit(main())

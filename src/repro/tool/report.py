@@ -1,0 +1,91 @@
+"""Human-readable and machine-readable rendering of check reports."""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.tool.pipeline import CheckReport
+
+
+def format_report(report: CheckReport, *, verbose: bool = False) -> str:
+    """A plain-text summary of a :class:`CheckReport` for the terminal."""
+    lines = [f"== P4BID report for {report.name} (lattice: {report.lattice_name}) =="]
+    if report.parse_error is not None:
+        lines.append(f"parse error: {report.parse_error}")
+        return "\n".join(lines)
+    if report.core_diagnostics:
+        lines.append(f"-- {len(report.core_diagnostics)} type error(s) --")
+        lines.extend(str(diag) for diag in report.core_diagnostics)
+    if report.ifc_diagnostics:
+        lines.append(f"-- {len(report.ifc_diagnostics)} information-flow violation(s) --")
+        lines.extend(str(diag) for diag in report.ifc_diagnostics)
+    if report.ok:
+        lines.append("OK: program is well-typed and satisfies non-interference")
+    else:
+        lines.append(f"REJECTED: {len(report.diagnostics)} problem(s) found")
+    if report.ifc_result is not None and report.ifc_result.declassifications:
+        lines.append(
+            f"-- {len(report.ifc_result.declassifications)} audited release(s) --"
+        )
+        lines.extend(f"  {event}" for event in report.ifc_result.declassifications)
+    if verbose and report.ifc_result is not None:
+        if report.ifc_result.function_bounds:
+            lines.append("-- inferred action write bounds (pc_fn) --")
+            for fn_name, bound in sorted(report.ifc_result.function_bounds.items()):
+                lines.append(f"  {fn_name}: {report.ifc_result.lattice.format_label(bound)}")
+        if report.ifc_result.table_bounds:
+            lines.append("-- inferred table bounds (pc_tbl) --")
+            for table_name, bound in sorted(report.ifc_result.table_bounds.items()):
+                lines.append(
+                    f"  {table_name}: {report.ifc_result.lattice.format_label(bound)}"
+                )
+    lines.append(
+        "timing: parse {:.2f} ms, core {:.2f} ms, ifc {:.2f} ms".format(
+            report.timing.parse_ms, report.timing.core_ms, report.timing.ifc_ms
+        )
+    )
+    return "\n".join(lines)
+
+
+def report_to_dict(report: CheckReport) -> Dict[str, Any]:
+    """A JSON-serialisable view of a report (used by ``p4bid --json``)."""
+    return {
+        "name": report.name,
+        "lattice": report.lattice_name,
+        "ok": report.ok,
+        "parse_error": report.parse_error,
+        "core_diagnostics": [str(diag) for diag in report.core_diagnostics],
+        "ifc_diagnostics": [
+            {
+                "kind": diag.kind.value,
+                "rule": diag.rule,
+                "message": diag.message,
+                "location": str(diag.span),
+            }
+            for diag in report.ifc_diagnostics
+        ],
+        "declassifications": [
+            {
+                "primitive": event.primitive,
+                "expression": event.expression,
+                "from": str(event.from_label),
+                "to": str(event.to_label),
+                "location": str(event.span),
+            }
+            for event in (
+                report.ifc_result.declassifications if report.ifc_result else []
+            )
+        ],
+        "timing_ms": {
+            "parse": report.timing.parse_ms,
+            "core": report.timing.core_ms,
+            "ifc": report.timing.ifc_ms,
+            "total": report.timing.total_ms,
+        },
+    }
+
+
+def report_to_json(report: CheckReport, *, indent: int = 2) -> str:
+    """Render a report as a JSON document."""
+    return json.dumps(report_to_dict(report), indent=indent)

@@ -1,0 +1,163 @@
+"""Security-interface summaries of checked programs.
+
+``summarise_program`` produces a machine-readable description of what a
+program exposes to the network and to the controller:
+
+* every control block, its pc label, and the security type of each of its
+  parameters broken down to leaf fields,
+* the inferred write bound ``pc_fn`` of every action and ``pc_tbl`` of
+  every table,
+* aggregate counts (how many observable vs secret leaf fields, how many
+  releases were audited).
+
+This is the artefact a network operator would attach to a review: it says,
+without reading the code, which packet fields the program may influence at
+which level.  Exposed through the CLI as ``p4bid --summary``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.ifc.checker import IfcCheckResult
+from repro.ifc.security_types import SHeader, SRecord, SStack, SecurityType
+from repro.lattice.base import Label, Lattice
+from repro.ni.labeling import program_labeler
+from repro.syntax.program import Program
+from repro.tool.pipeline import CheckReport
+
+
+@dataclass(frozen=True)
+class FieldSummary:
+    """One leaf field of a control parameter and its label."""
+
+    path: str
+    type_name: str
+    label: Label
+
+    def as_dict(self) -> Dict[str, str]:
+        return {"path": self.path, "type": self.type_name, "label": str(self.label)}
+
+
+@dataclass
+class ControlSummary:
+    """The security interface of one control block."""
+
+    name: str
+    pc_label: Label
+    fields: List[FieldSummary] = field(default_factory=list)
+
+    def observable_fields(self, lattice: Lattice, level: Label) -> List[FieldSummary]:
+        """Leaf fields an observer at ``level`` can see."""
+        return [f for f in self.fields if lattice.leq(f.label, level)]
+
+
+@dataclass
+class ProgramSummary:
+    """Whole-program security interface."""
+
+    name: str
+    lattice_name: str
+    controls: List[ControlSummary] = field(default_factory=list)
+    action_bounds: Dict[str, Label] = field(default_factory=dict)
+    table_bounds: Dict[str, Label] = field(default_factory=dict)
+    declassification_count: int = 0
+    violation_count: int = 0
+
+    def as_dict(self) -> Dict:
+        return {
+            "name": self.name,
+            "lattice": self.lattice_name,
+            "violations": self.violation_count,
+            "declassifications": self.declassification_count,
+            "controls": [
+                {
+                    "name": control.name,
+                    "pc": str(control.pc_label),
+                    "fields": [f.as_dict() for f in control.fields],
+                }
+                for control in self.controls
+            ],
+            "action_bounds": {k: str(v) for k, v in self.action_bounds.items()},
+            "table_bounds": {k: str(v) for k, v in self.table_bounds.items()},
+        }
+
+
+def _leaf_fields(prefix: str, sec_type: SecurityType) -> List[Tuple[str, SecurityType]]:
+    body = sec_type.body
+    if isinstance(body, (SRecord, SHeader)):
+        leaves: List[Tuple[str, SecurityType]] = []
+        for name, field_type in body.fields:
+            leaves.extend(_leaf_fields(f"{prefix}.{name}", field_type))
+        return leaves
+    if isinstance(body, SStack):
+        return [
+            leaf
+            for index in range(body.size)
+            for leaf in _leaf_fields(f"{prefix}[{index}]", body.element)
+        ]
+    return [(prefix, sec_type)]
+
+
+def summarise_program(
+    program: Program,
+    lattice: Lattice,
+    ifc_result: Optional[IfcCheckResult] = None,
+    *,
+    name: str = "<program>",
+) -> ProgramSummary:
+    """Build a :class:`ProgramSummary` for ``program`` under ``lattice``."""
+    labeler = program_labeler(program, lattice)
+    summary = ProgramSummary(name=name, lattice_name=lattice.name)
+    for control in program.controls:
+        pc_label = (
+            lattice.parse_label(control.pc_label)
+            if control.pc_label is not None
+            else lattice.bottom
+        )
+        control_summary = ControlSummary(control.name, pc_label)
+        for param in control.params:
+            sec_type = labeler.security_type(param.ty)
+            for path, leaf in _leaf_fields(param.name, sec_type):
+                control_summary.fields.append(
+                    FieldSummary(path, leaf.body.describe(), leaf.label)
+                )
+        summary.controls.append(control_summary)
+    if ifc_result is not None:
+        summary.action_bounds = dict(ifc_result.function_bounds)
+        summary.table_bounds = dict(ifc_result.table_bounds)
+        summary.declassification_count = len(ifc_result.declassifications)
+        summary.violation_count = len(ifc_result.diagnostics)
+    return summary
+
+
+def summarise_report(report: CheckReport, lattice: Lattice) -> Optional[ProgramSummary]:
+    """Summary for a pipeline report (None when the program failed to parse)."""
+    if report.program is None:
+        return None
+    return summarise_program(
+        report.program, lattice, report.ifc_result, name=report.name
+    )
+
+
+def format_summary(summary: ProgramSummary) -> str:
+    """Human readable rendering of a :class:`ProgramSummary`."""
+    lines = [
+        f"== security interface of {summary.name} (lattice: {summary.lattice_name}) ==",
+        f"violations: {summary.violation_count}, audited releases: "
+        f"{summary.declassification_count}",
+    ]
+    for control in summary.controls:
+        lines.append(f"control {control.name} (pc = {control.pc_label}):")
+        for leaf in control.fields:
+            lines.append(f"    {leaf.path:<40} {leaf.type_name:<12} {leaf.label}")
+    if summary.action_bounds:
+        lines.append("action write bounds (pc_fn):")
+        for action, bound in sorted(summary.action_bounds.items()):
+            lines.append(f"    {action:<40} {bound}")
+    if summary.table_bounds:
+        lines.append("table bounds (pc_tbl):")
+        for table, bound in sorted(summary.table_bounds.items()):
+            lines.append(f"    {table:<40} {bound}")
+    return "\n".join(lines)

@@ -1,0 +1,29 @@
+"""The ordinary (label-free) Core P4 type system of Figure 3.
+
+This is the baseline the paper compares against in Table 1: checking an
+*unannotated* program uses only these rules, while P4BID additionally runs
+the security rules of :mod:`repro.ifc`.
+"""
+
+from repro.typechecker.errors import CoreTypeError, TypeDiagnostic
+from repro.typechecker.environment import TypeContext, TypeDefinitions
+from repro.typechecker.unfold import unfold_type
+from repro.typechecker.operators import binary_result_type, unary_result_type
+from repro.typechecker.checker import (
+    CoreTypeChecker,
+    CoreCheckResult,
+    check_core_types,
+)
+
+__all__ = [
+    "CoreTypeError",
+    "TypeDiagnostic",
+    "TypeContext",
+    "TypeDefinitions",
+    "unfold_type",
+    "binary_result_type",
+    "unary_result_type",
+    "CoreTypeChecker",
+    "CoreCheckResult",
+    "check_core_types",
+]

@@ -1,0 +1,29 @@
+"""Diagnostics and errors for the ordinary Core P4 type system."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.syntax.source import SourceSpan
+
+
+@dataclass(frozen=True, slots=True)
+class TypeDiagnostic:
+    """A single type error with its location and the rule that failed."""
+
+    message: str
+    span: SourceSpan = field(default_factory=SourceSpan.unknown)
+    rule: str = ""
+
+    def __str__(self) -> str:
+        rule = f" [{self.rule}]" if self.rule else ""
+        return f"{self.span}: type error{rule}: {self.message}"
+
+
+class CoreTypeError(Exception):
+    """Raised by ``assert``-style entry points when type checking fails."""
+
+    def __init__(self, diagnostics: list[TypeDiagnostic]) -> None:
+        self.diagnostics = list(diagnostics)
+        summary = "; ".join(str(d) for d in self.diagnostics) or "type error"
+        super().__init__(summary)

@@ -1,0 +1,83 @@
+"""The binary-operation typing oracle ``T(Δ; ⊕; ρ1; ρ2) = ρ3``.
+
+The paper leaves the concrete oracle abstract; we implement the standard P4
+behaviour for the operators the case studies use:
+
+* arithmetic and bitwise operators on two ``bit<n>`` values of equal width
+  (or on ``int``) return the same numeric type,
+* comparisons return ``bool``,
+* boolean connectives require and return ``bool``,
+* ``int`` literals are implicitly compatible with any ``bit<n>`` operand
+  (they are width-inferred constants in P4).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.syntax.types import BitType, BoolType, IntType, Type
+
+#: Operators whose result is a boolean regardless of operand numeric type.
+COMPARISON_OPERATORS = frozenset({"==", "!=", "<", ">", "<=", ">="})
+
+#: Operators over booleans.
+BOOLEAN_OPERATORS = frozenset({"&&", "||"})
+
+#: Numeric operators: arithmetic, bitwise, shifts.
+NUMERIC_OPERATORS = frozenset({"+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>"})
+
+
+def _is_numeric(ty: Type) -> bool:
+    return isinstance(ty, (BitType, IntType))
+
+
+def _merge_numeric(left: Type, right: Type) -> Optional[Type]:
+    """The common numeric type of two operands, or None if incompatible."""
+    if isinstance(left, IntType) and isinstance(right, IntType):
+        return IntType()
+    if isinstance(left, BitType) and isinstance(right, BitType):
+        if left.width == right.width:
+            return BitType(left.width)
+        return None
+    if isinstance(left, BitType) and isinstance(right, IntType):
+        return BitType(left.width)
+    if isinstance(left, IntType) and isinstance(right, BitType):
+        return BitType(right.width)
+    return None
+
+
+def binary_result_type(op: str, left: Type, right: Type) -> Optional[Type]:
+    """``T(Δ; op; left; right)``: the result type, or None when ill-typed."""
+    if op in BOOLEAN_OPERATORS:
+        if isinstance(left, BoolType) and isinstance(right, BoolType):
+            return BoolType()
+        return None
+    if op in COMPARISON_OPERATORS:
+        if isinstance(left, BoolType) and isinstance(right, BoolType) and op in {"==", "!="}:
+            return BoolType()
+        if _is_numeric(left) and _is_numeric(right) and _merge_numeric(left, right) is not None:
+            return BoolType()
+        return None
+    if op in NUMERIC_OPERATORS:
+        if op in {"<<", ">>"}:
+            # shifts allow the two operands to have different widths
+            if _is_numeric(left) and _is_numeric(right):
+                return left if isinstance(left, BitType) else IntType()
+            return None
+        if _is_numeric(left) and _is_numeric(right):
+            return _merge_numeric(left, right)
+        return None
+    return None
+
+
+def unary_result_type(op: str, operand: Type) -> Optional[Type]:
+    """Result type of a unary operation, or None when ill-typed."""
+    if op == "!":
+        return BoolType() if isinstance(operand, BoolType) else None
+    if op in {"-", "~"}:
+        if isinstance(operand, BitType):
+            return BitType(operand.width)
+        if isinstance(operand, IntType):
+            return IntType()
+        return None
+    return None

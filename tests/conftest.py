@@ -1,0 +1,60 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.casestudies import all_case_studies, get_case_study
+from repro.frontend.parser import parse_program
+from repro.lattice import DiamondLattice, TwoPointLattice
+from repro.lattice.registry import get_lattice
+
+
+@pytest.fixture
+def two_point():
+    return TwoPointLattice()
+
+
+@pytest.fixture
+def diamond():
+    return DiamondLattice()
+
+
+@pytest.fixture(scope="session")
+def case_studies():
+    """All case studies, constructed once per session."""
+    return all_case_studies()
+
+
+@pytest.fixture(params=["d2r", "app", "lattice", "topology", "cache", "netchain"])
+def case_study(request):
+    """Parametrised over every case study."""
+    return get_case_study(request.param)
+
+
+@pytest.fixture
+def parse():
+    """A helper that parses source text into a Program."""
+    return parse_program
+
+
+@pytest.fixture
+def lattice_of():
+    """A helper that resolves lattice names."""
+    return get_lattice
+
+
+MINIMAL_PROGRAM = """
+header h_t { <bit<8>, low> a; <bit<8>, high> b; }
+struct headers { h_t h; }
+control Main(inout headers hdr) {
+    apply {
+        hdr.h.a = 1;
+    }
+}
+"""
+
+
+@pytest.fixture
+def minimal_source():
+    return MINIMAL_PROGRAM

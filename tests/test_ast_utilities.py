@@ -1,0 +1,146 @@
+"""Tests for AST utilities: source spans, traversal, and describe() output."""
+
+from repro.frontend.parser import parse_expression, parse_program
+from repro.syntax import (
+    Assign,
+    BinaryOp,
+    Call,
+    FieldAccess,
+    FunctionDecl,
+    If,
+    IntLiteral,
+    TableDecl,
+    Var,
+)
+from repro.syntax.source import Position, SourceSpan
+from repro.syntax.types import AnnotatedType, BitType, annotated
+from repro.syntax.visitor import AstVisitor, children, walk
+
+
+class TestSourceSpans:
+    def test_point_and_str(self):
+        span = SourceSpan.point(3, 7, "f.p4")
+        assert str(span) == "f.p4:3:7"
+
+    def test_unknown(self):
+        span = SourceSpan.unknown()
+        assert span.is_unknown()
+        assert str(span) == "<unknown>"
+
+    def test_merge_covers_both(self):
+        early = SourceSpan(Position(1, 2), Position(1, 9), "f.p4")
+        late = SourceSpan(Position(4, 1), Position(4, 5), "f.p4")
+        merged = early.merge(late)
+        assert merged.start == Position(1, 2)
+        assert merged.end == Position(4, 5)
+
+    def test_merge_with_unknown_keeps_known(self):
+        known = SourceSpan(Position(2, 1), Position(2, 5), "f.p4")
+        assert known.merge(SourceSpan.unknown()) == known
+        assert SourceSpan.unknown().merge(known) == known
+
+    def test_parser_spans_point_at_source(self):
+        program = parse_program("header h_t { bit<8> x; }\nheader g_t { bit<8> y; }")
+        first, second = program.declarations
+        assert first.span.start.line == 1
+        assert second.span.start.line == 2
+
+    def test_expression_span_covers_operands(self):
+        expr = parse_expression("alpha + omega")
+        assert expr.span.start.column == 1
+        assert expr.span.end.column >= len("alpha + omega")
+
+
+class TestTraversal:
+    SOURCE = """
+    header h_t { bit<8> a; }
+    struct headers { h_t h; }
+    control C(inout headers hdr) {
+        action set_a(bit<8> v) { hdr.h.a = v; }
+        table t { key = { hdr.h.a: exact; } actions = { set_a; } }
+        apply {
+            if (hdr.h.a == 1) { t.apply(); } else { set_a(2); }
+        }
+    }
+    """
+
+    def test_walk_reaches_every_construct(self):
+        program = parse_program(self.SOURCE)
+        kinds = {type(node).__name__ for node in walk(program)}
+        assert {"Program", "ControlDecl", "FunctionDecl", "TableDecl", "If",
+                "Assign", "Call", "FieldAccess", "Var", "IntLiteral"} <= kinds
+
+    def test_children_of_if(self):
+        program = parse_program(self.SOURCE)
+        if_stmt = next(node for node in walk(program) if isinstance(node, If))
+        assert len(children(if_stmt)) == 3
+
+    def test_children_of_leaf_is_empty(self):
+        assert children(IntLiteral(3)) == []
+        assert children(Var("x")) == []
+
+    def test_visitor_dispatch(self):
+        program = parse_program(self.SOURCE)
+
+        class Counter(AstVisitor):
+            def __init__(self):
+                self.vars = 0
+                self.calls = 0
+
+            def visit_Var(self, node):
+                self.vars += 1
+
+            def visit_Call(self, node):
+                self.calls += 1
+                self.generic_visit(node)
+
+        counter = Counter()
+        counter.visit(program)
+        assert counter.calls == 2  # t.apply() and set_a(2)
+        assert counter.vars >= 1
+
+    def test_visitor_generic_visit_returns_none(self):
+        assert AstVisitor().visit(parse_expression("1 + 2")) is None
+
+
+class TestDescribe:
+    def test_expression_descriptions(self):
+        assert parse_expression("hdr.h.a").describe() == "hdr.h.a"
+        assert parse_expression("a + b").describe() == "(a + b)"
+        assert parse_expression("f(1, x)").describe() == "f(1, x)"
+        assert parse_expression("s[3]").describe() == "s[3]"
+        assert parse_expression("8w9").describe() == "8w9"
+        assert parse_expression("{a = 1}").describe() == "{a = 1}"
+
+    def test_statement_descriptions(self):
+        program = parse_program(
+            "header h_t { bit<8> a; } struct headers { h_t h; }\n"
+            "control C(inout headers hdr) { apply { hdr.h.a = 1; exit; return; } }"
+        )
+        statements = program.controls[0].apply_block.statements
+        assert statements[0].describe() == "hdr.h.a = 1;"
+        assert statements[1].describe() == "exit;"
+        assert statements[2].describe() == "return;"
+
+    def test_declaration_descriptions(self):
+        program = parse_program(TestTraversal.SOURCE)
+        control = program.controls[0]
+        action = control.local_declarations[0]
+        table = control.local_declarations[1]
+        assert isinstance(action, FunctionDecl) and "set_a" in action.describe()
+        assert isinstance(table, TableDecl) and "table t" in table.describe()
+
+    def test_annotated_type_descriptions(self):
+        assert annotated(BitType(8)).describe() == "bit<8>"
+        assert AnnotatedType(BitType(8), "high").describe() == "<bit<8>, high>"
+
+    def test_describe_used_in_diagnostics(self):
+        from repro.tool.pipeline import check_source
+
+        report = check_source(
+            "header h_t { <bit<8>, high> s; <bit<8>, low> p; }\n"
+            "struct headers { h_t h; }\n"
+            "control C(inout headers hdr) { apply { hdr.h.p = hdr.h.s; } }"
+        )
+        (diag,) = report.ifc_diagnostics
+        assert "hdr.h.p" in diag.message and "hdr.h.s" in diag.message

@@ -1,0 +1,118 @@
+"""Unit tests for the control-plane oracle and its match kinds."""
+
+import pytest
+
+from repro.semantics.control_plane import (
+    ControlPlane,
+    ExactMatch,
+    LpmMatch,
+    TableEntry,
+    TernaryMatch,
+    Wildcard,
+)
+from repro.semantics.errors import EvaluationError
+from repro.semantics.values import BoolValue, IntValue, RecordValue
+
+
+class TestMatchPatterns:
+    def test_exact(self):
+        assert ExactMatch(5).matches(IntValue(5, 8))
+        assert not ExactMatch(5).matches(IntValue(6, 8))
+
+    def test_exact_on_bool(self):
+        assert ExactMatch(1).matches(BoolValue(True))
+        assert ExactMatch(0).matches(BoolValue(False))
+
+    def test_wildcard(self):
+        assert Wildcard().matches(IntValue(123456, 32))
+
+    def test_lpm(self):
+        pattern = LpmMatch(0x0A000000, 8, width=32)  # 10.0.0.0/8
+        assert pattern.matches(IntValue(0x0A010203, 32))
+        assert not pattern.matches(IntValue(0x0B010203, 32))
+
+    def test_lpm_zero_prefix_matches_everything(self):
+        assert LpmMatch(0, 0).matches(IntValue(0xFFFFFFFF, 32))
+
+    def test_ternary(self):
+        pattern = TernaryMatch(0b10, 0b11)
+        assert pattern.matches(IntValue(0b0110, 8) if False else IntValue(0b10, 8))
+        assert pattern.matches(IntValue(0b1110, 8))
+        assert not pattern.matches(IntValue(0b01, 8))
+
+    def test_specificity_ordering(self):
+        assert ExactMatch(1).specificity() > LpmMatch(0, 24).specificity()
+        assert LpmMatch(0, 24).specificity() > LpmMatch(0, 8).specificity()
+        assert Wildcard().specificity() == 0
+
+    def test_non_scalar_key_rejected(self):
+        with pytest.raises(EvaluationError):
+            ExactMatch(1).matches(RecordValue((("x", IntValue(1, 8)),)))
+
+
+class TestResolution:
+    def plane(self):
+        plane = ControlPlane()
+        plane.add_exact_entry("t", [1], "a1", {"v": IntValue(10, 8)})
+        plane.add_exact_entry("t", [2], "a2")
+        plane.set_default_action("t", "miss")
+        return plane
+
+    def test_exact_hit(self):
+        resolved = self.plane().resolve("t", [IntValue(1, 8)], ["a1", "a2", "miss"])
+        assert resolved.action == "a1"
+        assert resolved.control_args["v"].value == 10
+
+    def test_miss_falls_back_to_default(self):
+        resolved = self.plane().resolve("t", [IntValue(9, 8)], ["a1", "a2", "miss"])
+        assert resolved.action == "miss"
+
+    def test_no_default_returns_none(self):
+        plane = ControlPlane()
+        plane.add_exact_entry("t", [1], "a1")
+        assert plane.resolve("t", [IntValue(9, 8)], ["a1"]) is None
+
+    def test_unknown_table_returns_none(self):
+        assert ControlPlane().resolve("ghost", [IntValue(1, 8)], ["a"]) is None
+
+    def test_lpm_longest_prefix_wins(self):
+        plane = ControlPlane()
+        plane.add_entry("t", TableEntry((LpmMatch(0x0A000000, 8),), "wide"))
+        plane.add_entry("t", TableEntry((LpmMatch(0x0A0A0000, 16),), "narrow"))
+        resolved = plane.resolve("t", [IntValue(0x0A0A0101, 32)], ["wide", "narrow"])
+        assert resolved.action == "narrow"
+
+    def test_priority_breaks_ties(self):
+        plane = ControlPlane()
+        plane.add_entry("t", TableEntry((Wildcard(),), "lowprio", priority=0))
+        plane.add_entry("t", TableEntry((Wildcard(),), "highprio", priority=5))
+        resolved = plane.resolve("t", [IntValue(1, 8)], ["lowprio", "highprio"])
+        assert resolved.action == "highprio"
+
+    def test_multi_key_entries(self):
+        plane = ControlPlane()
+        plane.add_exact_entry("t", [1, 2], "both")
+        assert plane.resolve("t", [IntValue(1, 8), IntValue(2, 8)], ["both"]).action == "both"
+        assert plane.resolve("t", [IntValue(1, 8), IntValue(3, 8)], ["both"]) is None
+
+    def test_arity_mismatch_never_matches(self):
+        plane = ControlPlane()
+        plane.add_exact_entry("t", [1], "a")
+        assert plane.resolve("t", [IntValue(1, 8), IntValue(1, 8)], ["a"]) is None
+
+    def test_entry_for_undeclared_action_rejected(self):
+        plane = ControlPlane()
+        plane.add_exact_entry("t", [1], "ghost")
+        with pytest.raises(EvaluationError):
+            plane.resolve("t", [IntValue(1, 8)], ["real"])
+
+    def test_default_for_undeclared_action_rejected(self):
+        plane = ControlPlane()
+        plane.set_default_action("t", "ghost")
+        with pytest.raises(EvaluationError):
+            plane.resolve("t", [IntValue(1, 8)], ["real"])
+
+    def test_entries_for_listing(self):
+        plane = self.plane()
+        assert len(plane.entries_for("t")) == 2
+        assert plane.entries_for("other") == []

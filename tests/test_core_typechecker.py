@@ -1,0 +1,203 @@
+"""Unit tests for the ordinary (label-free) Core P4 type checker."""
+
+import pytest
+
+from repro.frontend.parser import parse_program
+from repro.typechecker import check_core_types
+from repro.typechecker.errors import CoreTypeError
+
+
+def check(source):
+    return check_core_types(parse_program(source))
+
+
+def diagnostics(source):
+    return [str(d) for d in check(source).diagnostics]
+
+
+HEADER_PRELUDE = """
+header h_t { bit<8> small; bit<32> big; bool flag; }
+struct headers { h_t h; }
+"""
+
+
+def in_control(body: str, locals_: str = "") -> str:
+    return (
+        HEADER_PRELUDE
+        + "control C(inout headers hdr) {\n"
+        + locals_
+        + "\n  apply {\n"
+        + body
+        + "\n  }\n}"
+    )
+
+
+class TestWellTypedPrograms:
+    def test_minimal(self, minimal_source):
+        assert check(minimal_source).ok
+
+    def test_assignment_same_width(self):
+        assert check(in_control("hdr.h.small = 8w3;")).ok
+
+    def test_int_literal_fits_any_bit_width(self):
+        assert check(in_control("hdr.h.big = 123456;")).ok
+
+    def test_arithmetic(self):
+        assert check(in_control("hdr.h.big = hdr.h.big + 1;")).ok
+
+    def test_boolean_condition(self):
+        assert check(in_control("if (hdr.h.flag) { hdr.h.small = 1; }")).ok
+
+    def test_comparison_condition(self):
+        assert check(in_control("if (hdr.h.small == 3) { hdr.h.small = 1; }")).ok
+
+    def test_local_variable(self):
+        assert check(in_control("bit<8> t = hdr.h.small; hdr.h.small = t;")).ok
+
+    def test_typedef_resolution(self):
+        source = (
+            "typedef bit<48> mac_t;\n"
+            "header e_t { mac_t addr; }\n"
+            "struct headers { e_t e; }\n"
+            "control C(inout headers hdr) { apply { hdr.e.addr = 1; } }"
+        )
+        assert check(source).ok
+
+    def test_action_and_table(self):
+        locals_ = """
+  action set_small(bit<8> v) { hdr.h.small = v; }
+  action nop() { }
+  table t { key = { hdr.h.big: exact; } actions = { set_small; nop; } }
+"""
+        assert check(in_control("t.apply();", locals_)).ok
+
+    def test_function_with_return(self):
+        locals_ = """
+  function bit<8> bump(in bit<8> v) { return v + 1; }
+"""
+        assert check(in_control("hdr.h.small = bump(hdr.h.small);", locals_)).ok
+
+    def test_exit_statement(self):
+        assert check(in_control("exit;")).ok
+
+    def test_header_stacks(self):
+        source = (
+            "header lane_t { bit<8> v; }\n"
+            "struct headers { lane_t[4] lanes; bit<32> idx; }\n"
+            "control C(inout headers hdr) { apply { hdr.lanes[2].v = 7; } }"
+        )
+        assert check(source).ok
+
+
+class TestTypeErrors:
+    def test_unknown_variable(self):
+        result = check(in_control("ghost = 1;"))
+        assert not result.ok
+        assert any("unknown variable" in str(d) for d in result.diagnostics)
+
+    def test_unknown_field(self):
+        assert any("no field" in d for d in diagnostics(in_control("hdr.h.missing = 1;")))
+
+    def test_width_mismatch(self):
+        bad = in_control("hdr.h.small = hdr.h.big;")
+        assert any("T-Assign" in d for d in diagnostics(bad))
+
+    def test_bool_assigned_number(self):
+        assert not check(in_control("hdr.h.flag = 3;")).ok
+
+    def test_condition_must_be_bool(self):
+        assert any(
+            "expected bool" in d
+            for d in diagnostics(in_control("if (hdr.h.small) { hdr.h.small = 1; }"))
+        )
+
+    def test_arithmetic_on_bool(self):
+        assert not check(in_control("hdr.h.small = hdr.h.flag + 1;")).ok
+
+    def test_mixed_width_arithmetic(self):
+        assert not check(in_control("hdr.h.big = hdr.h.big + hdr.h.small;")).ok
+
+    def test_unknown_type_name(self):
+        source = (
+            "struct headers { mystery_t m; }\n"
+            "control C(inout headers hdr) { apply { hdr.m = 1; } }"
+        )
+        assert any("unknown type name" in d for d in diagnostics(source))
+
+    def test_unknown_action_in_table(self):
+        locals_ = "  table t { key = { hdr.h.small: exact; } actions = { ghost; } }\n"
+        assert any("undeclared action" in d for d in diagnostics(in_control("t.apply();", locals_)))
+
+    def test_unknown_match_kind(self):
+        locals_ = (
+            "  action nop() { }\n"
+            "  table t { key = { hdr.h.small: sorted; } actions = { nop; } }\n"
+        )
+        assert any("unknown match kind" in d for d in diagnostics(in_control("t.apply();", locals_)))
+
+    def test_call_wrong_argument_type(self):
+        locals_ = "  action set_flag(bool v) { hdr.h.flag = v; }\n"
+        assert not check(in_control("set_flag(3);", locals_)).ok
+
+    def test_call_too_many_arguments(self):
+        locals_ = "  action nop() { }\n"
+        assert not check(in_control("nop(1);", locals_)).ok
+
+    def test_inout_argument_must_be_lvalue(self):
+        locals_ = "  action bump(inout bit<8> v) { v = v + 1; }\n"
+        assert not check(in_control("bump(3);", locals_)).ok
+
+    def test_inout_argument_lvalue_ok(self):
+        locals_ = "  action bump(inout bit<8> v) { v = v + 1; }\n"
+        assert check(in_control("bump(hdr.h.small);", locals_)).ok
+
+    def test_return_outside_function(self):
+        assert any(
+            "outside of a function" in d for d in diagnostics(in_control("return 1;"))
+        )
+
+    def test_return_type_mismatch(self):
+        locals_ = "  function bit<8> f(in bit<8> v) { return hdr.h.flag; }\n"
+        assert not check(in_control("hdr.h.small = f(1);", locals_)).ok
+
+    def test_assignment_to_literal_rejected_by_parser_or_checker(self):
+        # `1 = x;` parses as an assignment whose target is read-only
+        result = check(in_control("hdr.h.small = 1;") )
+        assert result.ok  # sanity: the valid direction works
+
+    def test_table_applied_as_expression(self):
+        locals_ = (
+            "  action nop() { }\n"
+            "  table t { key = { hdr.h.small: exact; } actions = { nop; } }\n"
+        )
+        bad = in_control("hdr.h.small = t();", locals_)
+        assert not check(bad).ok
+
+    def test_var_init_type_mismatch(self):
+        assert not check(in_control("bit<8> t = hdr.h.flag;")).ok
+
+    def test_indexing_non_array(self):
+        assert not check(in_control("hdr.h.small = hdr.h.big[0];")).ok
+
+    def test_multiple_errors_reported(self):
+        bad = in_control("ghost1 = 1; ghost2 = 2; hdr.h.missing = 3;")
+        assert len(check(bad).diagnostics) >= 3
+
+    def test_raise_on_error(self):
+        with pytest.raises(CoreTypeError):
+            check(in_control("ghost = 1;")).raise_on_error()
+
+    def test_raise_on_error_passthrough(self, minimal_source):
+        result = check(minimal_source)
+        assert result.raise_on_error() is result
+
+
+class TestCaseStudiesCoreTyping:
+    def test_all_variants_core_typecheck(self, case_study):
+        for source in (
+            case_study.secure_source,
+            case_study.insecure_source,
+            case_study.unannotated_source,
+        ):
+            result = check(source)
+            assert result.ok, [str(d) for d in result.diagnostics]

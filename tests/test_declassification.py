@@ -1,0 +1,181 @@
+"""Tests for the audited declassify/endorse extension."""
+
+import pytest
+
+from repro.frontend.parser import parse_program
+from repro.ifc import ViolationKind, check_ifc
+from repro.lattice.two_point import HIGH, LOW
+from repro.ni import check_non_interference
+from repro.semantics.evaluator import run_control
+from repro.semantics.values import HeaderValue, IntValue, RecordValue
+from repro.tool.pipeline import check_source
+
+PRELUDE = """
+header h_t {
+    <bit<8>, low>  pub;
+    <bit<8>, high> sec;
+    <bool, high>   sec_flag;
+}
+struct headers { h_t h; }
+"""
+
+
+def program(body: str, locals_: str = "") -> str:
+    return (
+        PRELUDE
+        + "control C(inout headers hdr) {\n"
+        + locals_
+        + "\n  apply {\n"
+        + body
+        + "\n  }\n}"
+    )
+
+
+def ifc(body: str, locals_: str = "", allow=True):
+    return check_ifc(
+        parse_program(program(body, locals_)), allow_declassification=allow
+    )
+
+
+class TestStaticChecking:
+    def test_disabled_by_default(self):
+        report = check_source(program("hdr.h.pub = declassify(hdr.h.sec);"))
+        assert not report.ok
+        assert any(
+            d.kind is ViolationKind.DECLASSIFICATION for d in report.ifc_diagnostics
+        )
+
+    def test_enabled_accepts_release(self):
+        result = ifc("hdr.h.pub = declassify(hdr.h.sec);")
+        assert result.ok
+
+    def test_endorse_is_an_alias(self):
+        result = ifc("hdr.h.pub = endorse(hdr.h.sec);")
+        assert result.ok
+        assert result.declassifications[0].primitive == "endorse"
+
+    def test_audit_trail_records_labels(self):
+        result = ifc("hdr.h.pub = declassify(hdr.h.sec + 1);")
+        (event,) = result.declassifications
+        assert event.from_label == HIGH
+        assert event.to_label == LOW
+        assert "hdr.h.sec" in event.expression
+        assert event.span.start.line > 0
+
+    def test_no_audit_entries_without_uses(self):
+        result = ifc("hdr.h.pub = hdr.h.pub + 1;")
+        assert result.declassifications == []
+
+    def test_release_does_not_whitelist_other_flows(self):
+        result = ifc(
+            "hdr.h.pub = declassify(hdr.h.sec);\nhdr.h.pub = hdr.h.sec;"
+        )
+        assert [d.kind for d in result.diagnostics] == [ViolationKind.EXPLICIT_FLOW]
+        assert len(result.declassifications) == 1
+
+    def test_release_in_high_context_rejected(self):
+        result = ifc("if (hdr.h.sec_flag) { hdr.h.sec = declassify(hdr.h.sec); }")
+        assert any(
+            d.kind is ViolationKind.IMPLICIT_FLOW and "declassify" in d.message
+            for d in result.diagnostics
+        )
+
+    def test_wrong_arity_reported(self):
+        result = ifc("hdr.h.pub = declassify(hdr.h.sec, hdr.h.pub);")
+        assert any(d.kind is ViolationKind.TYPE_ERROR for d in result.diagnostics)
+
+    def test_user_action_named_declassify_shadows_builtin(self):
+        locals_ = "  action declassify(in <bit<8>, high> v) { hdr.h.sec = v; }"
+        result = ifc("declassify(hdr.h.sec);", locals_)
+        assert result.ok
+        assert result.declassifications == []
+
+    def test_core_checker_types_it_as_identity(self):
+        report = check_source(
+            program("hdr.h.pub = declassify(hdr.h.sec);"), include_ifc=False
+        )
+        assert report.ok
+
+    def test_core_checker_rejects_width_mismatch_through_release(self):
+        source = (
+            "header h_t { <bit<32>, high> wide; <bit<8>, low> narrow; }\n"
+            "struct headers { h_t h; }\n"
+            "control C(inout headers hdr) { apply { hdr.h.narrow = declassify(hdr.h.wide); } }"
+        )
+        report = check_source(source, include_ifc=False)
+        assert not report.ok
+
+
+class TestDynamics:
+    def packet(self, sec):
+        return RecordValue(
+            (
+                (
+                    "h",
+                    HeaderValue(
+                        (
+                            ("pub", IntValue(0, 8)),
+                            ("sec", IntValue(sec, 8)),
+                            (
+                                "sec_flag",
+                                __import__(
+                                    "repro.semantics.values", fromlist=["BoolValue"]
+                                ).BoolValue(False),
+                            ),
+                        )
+                    ),
+                ),
+            )
+        )
+
+    def test_identity_at_runtime(self):
+        prog = parse_program(program("hdr.h.pub = declassify(hdr.h.sec);"))
+        run = run_control(prog, {"hdr": self.packet(77)})
+        assert run.parameters["hdr"].get("h").get("pub").value == 77
+
+    def test_released_program_really_interferes(self):
+        """Declassification intentionally gives up non-interference: the
+        harness should find a counterexample, documenting what was released."""
+        prog = parse_program(program("hdr.h.pub = declassify(hdr.h.sec);"))
+        assert check_ifc(prog, allow_declassification=True).ok
+        result = check_non_interference(prog, trials=50, seed=1)
+        assert not result.holds
+
+
+class TestToolingIntegration:
+    def test_pipeline_flag(self):
+        report = check_source(
+            program("hdr.h.pub = declassify(hdr.h.sec);"),
+            allow_declassification=True,
+        )
+        assert report.ok
+        assert len(report.ifc_result.declassifications) == 1
+
+    def test_report_mentions_releases(self):
+        from repro.tool.report import format_report
+
+        report = check_source(
+            program("hdr.h.pub = declassify(hdr.h.sec);"),
+            allow_declassification=True,
+        )
+        assert "audited release" in format_report(report)
+
+    def test_json_report_lists_releases(self):
+        import json
+
+        from repro.tool.report import report_to_json
+
+        report = check_source(
+            program("hdr.h.pub = declassify(hdr.h.sec);"),
+            allow_declassification=True,
+        )
+        payload = json.loads(report_to_json(report))
+        assert payload["declassifications"][0]["from"] == "high"
+
+    def test_cli_flag(self, tmp_path, capsys):
+        from repro.tool.cli import main
+
+        path = tmp_path / "release.p4"
+        path.write_text(program("hdr.h.pub = declassify(hdr.h.sec);"), encoding="utf-8")
+        assert main([str(path)]) == 1
+        assert main(["--allow-declassify", str(path)]) == 0

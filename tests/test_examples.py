@@ -1,0 +1,39 @@
+"""Smoke tests: every example script runs to completion against the public API."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def load_module(path: Path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_examples_exist():
+    assert len(EXAMPLE_FILES) >= 3
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.stem)
+def test_example_runs(path, capsys):
+    module = load_module(path)
+    assert hasattr(module, "main"), f"{path.name} must expose a main() function"
+    module.main()
+    output = capsys.readouterr().out
+    assert output.strip(), f"{path.name} should print something"
+
+
+def test_quickstart_reports_the_leak(capsys):
+    module = load_module(EXAMPLES_DIR / "quickstart.py")
+    module.main()
+    output = capsys.readouterr().out
+    assert "explicit-flow" in output
+    assert "OK" in output

@@ -1,0 +1,139 @@
+"""Unit tests for resolving annotated syntactic types into security types."""
+
+import pytest
+
+from repro.frontend.parser import parse_program
+from repro.ifc.context import SecurityTypeDefs
+from repro.ifc.convert import LabelResolutionError, TypeLabeler
+from repro.ifc.security_types import SBit, SBool, SHeader, SRecord, SStack
+from repro.lattice.diamond import ALICE, DiamondLattice, TOP
+from repro.lattice.two_point import HIGH, LOW, TwoPointLattice
+from repro.syntax.types import (
+    AnnotatedType,
+    BitType,
+    BoolType,
+    Field,
+    HeaderType,
+    RecordType,
+    StackType,
+    TypeName,
+)
+
+
+@pytest.fixture
+def labeler():
+    return TypeLabeler(TwoPointLattice(), SecurityTypeDefs())
+
+
+class TestScalars:
+    def test_unannotated_defaults_to_bottom(self, labeler):
+        sec = labeler.security_type(AnnotatedType(BitType(8), None))
+        assert isinstance(sec.body, SBit)
+        assert sec.label == LOW
+
+    def test_annotated_scalar(self, labeler):
+        sec = labeler.security_type(AnnotatedType(BitType(8), "high"))
+        assert sec.label == HIGH
+
+    def test_bool(self, labeler):
+        sec = labeler.security_type(AnnotatedType(BoolType(), "high"))
+        assert isinstance(sec.body, SBool)
+        assert sec.label == HIGH
+
+    def test_unknown_label_raises(self, labeler):
+        with pytest.raises(LabelResolutionError):
+            labeler.security_type(AnnotatedType(BitType(8), "medium"))
+
+    def test_alias_labels(self, labeler):
+        sec = labeler.security_type(AnnotatedType(BitType(8), "secret"))
+        assert sec.label == HIGH
+
+
+class TestComposites:
+    def test_record_fields_carry_their_own_labels(self, labeler):
+        record = RecordType(
+            (
+                Field("pub", AnnotatedType(BitType(8), "low")),
+                Field("sec", AnnotatedType(BitType(8), "high")),
+            )
+        )
+        sec = labeler.security_type(AnnotatedType(record, None))
+        assert isinstance(sec.body, SRecord)
+        assert sec.label == LOW
+        fields = dict(sec.body.fields)
+        assert fields["pub"].label == LOW
+        assert fields["sec"].label == HIGH
+
+    def test_header(self, labeler):
+        header = HeaderType((Field("x", AnnotatedType(BitType(8), "high")),))
+        sec = labeler.security_type(AnnotatedType(header, None))
+        assert isinstance(sec.body, SHeader)
+
+    def test_stack(self, labeler):
+        stack = StackType(AnnotatedType(BitType(8), "high"), 4)
+        sec = labeler.security_type(AnnotatedType(stack, None))
+        assert isinstance(sec.body, SStack)
+        assert sec.body.size == 4
+        assert sec.body.element.label == HIGH
+
+    def test_use_site_label_pushes_into_fields(self):
+        lattice = DiamondLattice()
+        definitions = SecurityTypeDefs()
+        labeler = TypeLabeler(lattice, definitions)
+        record = RecordType(
+            (
+                Field("a", AnnotatedType(BitType(8), None)),
+                Field("b", AnnotatedType(BitType(8), "B")),
+            )
+        )
+        definitions.define("payload_t", AnnotatedType(record, None))
+        sec = labeler.security_type(AnnotatedType(TypeName("payload_t"), "A"))
+        fields = dict(sec.body.fields)
+        assert fields["a"].label == ALICE
+        assert fields["b"].label == TOP  # join(B, A)
+        assert sec.label == lattice.bottom
+
+
+class TestNamedTypes:
+    def test_typedef_unfolding(self, labeler):
+        labeler.definitions.define("mac_t", AnnotatedType(BitType(48), "high"))
+        sec = labeler.security_type(AnnotatedType(TypeName("mac_t"), None))
+        assert isinstance(sec.body, SBit)
+        assert sec.body.width == 48
+        assert sec.label == HIGH
+
+    def test_unknown_type_name(self, labeler):
+        with pytest.raises(LabelResolutionError):
+            labeler.security_type(AnnotatedType(TypeName("ghost_t"), None))
+
+    def test_cyclic_typedef(self, labeler):
+        labeler.definitions.define("a_t", AnnotatedType(TypeName("b_t"), None))
+        labeler.definitions.define("b_t", AnnotatedType(TypeName("a_t"), None))
+        with pytest.raises(LabelResolutionError):
+            labeler.security_type(AnnotatedType(TypeName("a_t"), None))
+
+    def test_nested_named_types(self, labeler):
+        labeler.definitions.define("inner_t", AnnotatedType(BitType(8), "high"))
+        record = RecordType((Field("x", AnnotatedType(TypeName("inner_t"), None)),))
+        labeler.definitions.define("outer_t", AnnotatedType(record, None))
+        sec = labeler.security_type(AnnotatedType(TypeName("outer_t"), None))
+        assert dict(sec.body.fields)["x"].label == HIGH
+
+
+class TestFromParsedPrograms:
+    def test_program_labels(self):
+        from repro.ni.labeling import control_security_types
+
+        program = parse_program(
+            """
+            header h_t { <bit<8>, high> secret; <bit<8>, low> public; }
+            struct headers { h_t h; }
+            control C(inout headers hdr) { apply { } }
+            """
+        )
+        sec_types = control_security_types(program)
+        hdr = sec_types["hdr"]
+        h_field = dict(hdr.body.fields)["h"]
+        fields = dict(h_field.body.fields)
+        assert fields["secret"].label == HIGH
+        assert fields["public"].label == LOW

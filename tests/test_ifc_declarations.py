@@ -1,0 +1,205 @@
+"""IFC typing of declarations (Figure 7): actions/functions (pc_fn
+inference), tables (pc_tbl and the key/action constraint), arguments."""
+
+from repro.frontend.parser import parse_program
+from repro.ifc import ViolationKind, check_ifc
+from repro.lattice.two_point import HIGH, LOW
+
+PRELUDE = """
+header h_t {
+    <bit<8>, low>  pub;
+    <bit<8>, low>  pub2;
+    <bit<8>, high> sec;
+    <bit<8>, high> sec2;
+    <bool, high>   sec_flag;
+}
+struct headers { h_t h; }
+"""
+
+
+def ifc(locals_: str, body: str = ""):
+    source = (
+        PRELUDE
+        + "control C(inout headers hdr) {\n"
+        + locals_
+        + "\n  apply {\n"
+        + body
+        + "\n  }\n}"
+    )
+    return check_ifc(parse_program(source))
+
+
+def kinds(result):
+    return [diag.kind for diag in result.diagnostics]
+
+
+class TestFunctionWriteBounds:
+    def test_low_writer_has_low_bound(self):
+        result = ifc("  action f() { hdr.h.pub = 1; }")
+        assert result.ok
+        assert result.function_bounds["f"] == LOW
+
+    def test_high_writer_has_high_bound(self):
+        result = ifc("  action f() { hdr.h.sec = 1; }")
+        assert result.function_bounds["f"] == HIGH
+
+    def test_mixed_writer_has_low_bound(self):
+        result = ifc("  action f() { hdr.h.sec = 1; hdr.h.pub = 2; }")
+        assert result.function_bounds["f"] == LOW
+
+    def test_no_writes_means_top_bound(self):
+        result = ifc("  action f() { }")
+        assert result.function_bounds["f"] == HIGH
+
+    def test_exit_forces_bottom_bound(self):
+        result = ifc("  action f() { exit; }")
+        assert result.function_bounds["f"] == LOW
+
+    def test_nested_call_propagates_bound(self):
+        result = ifc(
+            "  action inner() { hdr.h.pub = 1; }\n"
+            "  action outer() { inner(); hdr.h.sec = 2; }"
+        )
+        assert result.function_bounds["outer"] == LOW
+
+    def test_write_to_inout_param_counts(self):
+        result = ifc("  action f(inout <bit<8>, high> x) { x = 1; }")
+        assert result.function_bounds["f"] == HIGH
+
+    def test_leak_inside_body_reported_once(self):
+        result = ifc("  action f() { hdr.h.pub = hdr.h.sec; }")
+        assert kinds(result) == [ViolationKind.EXPLICIT_FLOW]
+
+    def test_implicit_leak_inside_body(self):
+        result = ifc("  action f() { if (hdr.h.sec_flag) { hdr.h.pub = 1; } }")
+        assert kinds(result) == [ViolationKind.IMPLICIT_FLOW]
+
+
+class TestFunctionArguments:
+    def test_in_argument_may_be_relabelled_upwards(self):
+        locals_ = "  action f(in <bit<8>, high> v) { hdr.h.sec = v; }"
+        assert ifc(locals_, "f(hdr.h.pub);").ok
+
+    def test_in_argument_must_not_exceed_parameter(self):
+        locals_ = "  action f(in <bit<8>, low> v) { hdr.h.pub = v; }"
+        result = ifc(locals_, "f(hdr.h.sec);")
+        assert ViolationKind.ARGUMENT_FLOW in kinds(result)
+
+    def test_inout_argument_requires_equal_labels(self):
+        locals_ = "  action bump(inout <bit<8>, high> v) { v = v + 1; }"
+        result = ifc(locals_, "bump(hdr.h.pub);")
+        assert ViolationKind.ARGUMENT_FLOW in kinds(result)
+
+    def test_inout_argument_with_matching_label(self):
+        locals_ = "  action bump(inout <bit<8>, high> v) { v = v + 1; }"
+        assert ifc(locals_, "bump(hdr.h.sec);").ok
+
+    def test_inout_high_label_on_low_param_rejected(self):
+        locals_ = "  action bump(inout <bit<8>, low> v) { v = v + 1; }"
+        result = ifc(locals_, "bump(hdr.h.sec);")
+        assert ViolationKind.ARGUMENT_FLOW in kinds(result)
+
+    def test_return_value_label(self):
+        locals_ = "  function <bit<8>, high> get() { return hdr.h.sec; }"
+        assert ifc(locals_, "hdr.h.sec2 = get();").ok
+
+    def test_high_return_into_low_rejected(self):
+        locals_ = "  function <bit<8>, high> get() { return hdr.h.sec; }"
+        result = ifc(locals_, "hdr.h.pub = get();")
+        assert ViolationKind.EXPLICIT_FLOW in kinds(result)
+
+    def test_high_value_returned_from_low_function_rejected(self):
+        locals_ = "  function <bit<8>, low> get() { return hdr.h.sec; }"
+        result = ifc(locals_)
+        assert ViolationKind.EXPLICIT_FLOW in kinds(result)
+
+
+class TestVarDeclarations:
+    def test_control_level_high_local(self):
+        result = ifc("  <bit<8>, high> failures = hdr.h.sec - hdr.h.pub;")
+        assert result.ok
+
+    def test_control_level_low_local_from_high_rejected(self):
+        result = ifc("  <bit<8>, low> leak = hdr.h.sec;")
+        assert kinds(result) == [ViolationKind.EXPLICIT_FLOW]
+
+    def test_unknown_label_reported(self):
+        result = ifc("  <bit<8>, medium> odd;")
+        assert kinds(result) == [ViolationKind.LABEL_ERROR]
+
+
+class TestTableDeclarations:
+    def test_low_key_low_action(self):
+        locals_ = """
+  action set_pub() { hdr.h.pub = 1; }
+  table t { key = { hdr.h.pub2: exact; } actions = { set_pub; } }
+"""
+        result = ifc(locals_, "t.apply();")
+        assert result.ok
+        assert result.table_bounds["t"] == LOW
+
+    def test_high_key_low_action_rejected(self):
+        locals_ = """
+  action set_pub() { hdr.h.pub = 1; }
+  table t { key = { hdr.h.sec: exact; } actions = { set_pub; } }
+"""
+        result = ifc(locals_, "t.apply();")
+        assert ViolationKind.TABLE_KEY_FLOW in kinds(result)
+
+    def test_high_key_high_action(self):
+        locals_ = """
+  action set_sec() { hdr.h.sec = 1; }
+  table t { key = { hdr.h.sec2: exact; } actions = { set_sec; } }
+"""
+        result = ifc(locals_, "t.apply();")
+        assert result.ok
+        assert result.table_bounds["t"] == HIGH
+
+    def test_bound_is_meet_over_actions(self):
+        locals_ = """
+  action set_sec() { hdr.h.sec = 1; }
+  action set_pub() { hdr.h.pub = 1; }
+  table t { key = { hdr.h.pub2: exact; } actions = { set_sec; set_pub; } }
+"""
+        result = ifc(locals_, "t.apply();")
+        assert result.table_bounds["t"] == LOW
+
+    def test_every_offending_key_action_pair_reported(self):
+        locals_ = """
+  action a1() { hdr.h.pub = 1; }
+  action a2() { hdr.h.pub2 = 1; }
+  table t { key = { hdr.h.sec: exact; hdr.h.sec2: exact; } actions = { a1; a2; } }
+"""
+        result = ifc(locals_, "t.apply();")
+        violations = [k for k in kinds(result) if k is ViolationKind.TABLE_KEY_FLOW]
+        assert len(violations) == 4  # 2 keys x 2 actions
+
+    def test_declaration_time_argument_flow(self):
+        locals_ = """
+  <bit<8>, high> failures = hdr.h.sec;
+  action prioritise(in <bit<8>, low> f) { hdr.h.pub = f; }
+  table t { key = { hdr.h.pub2: exact; } actions = { prioritise(failures); } }
+"""
+        result = ifc(locals_, "t.apply();")
+        assert ViolationKind.ARGUMENT_FLOW in kinds(result)
+
+    def test_declaration_time_argument_matching(self):
+        locals_ = """
+  <bit<8>, high> failures = hdr.h.sec;
+  action prioritise(in <bit<8>, high> f) { hdr.h.sec2 = f; }
+  table t { key = { hdr.h.pub2: exact; } actions = { prioritise(failures); } }
+"""
+        assert ifc(locals_, "t.apply();").ok
+
+    def test_keyless_table(self):
+        locals_ = """
+  action set_pub() { hdr.h.pub = 1; }
+  table t { key = { } actions = { set_pub; } }
+"""
+        assert ifc(locals_, "t.apply();").ok
+
+    def test_actionless_table_gets_top_bound(self):
+        locals_ = "  table t { key = { hdr.h.sec: exact; } actions = { } }"
+        result = ifc(locals_, "t.apply();")
+        assert result.table_bounds["t"] == HIGH
+        assert result.ok

@@ -1,0 +1,184 @@
+"""IFC typing of expressions (Figure 5): labels of literals, variables,
+operators, projections, indexing, and calls."""
+
+from repro.frontend.parser import parse_expression, parse_program
+from repro.ifc import ViolationKind
+from repro.ifc.checker import DIR_IN, DIR_INOUT, IfcChecker
+from repro.ifc.context import SecurityContext, SecurityTypeDefs
+from repro.ifc.convert import TypeLabeler
+from repro.ifc.security_types import (
+    SBit,
+    SBool,
+    SHeader,
+    SInt,
+    SRecord,
+    SStack,
+    SecurityType,
+)
+from repro.lattice.two_point import HIGH, LOW, TwoPointLattice
+
+
+def make_env():
+    """A checker, a typing context with a few bindings, and a labeler."""
+    lattice = TwoPointLattice()
+    checker = IfcChecker(lattice)
+    labeler = TypeLabeler(lattice, SecurityTypeDefs())
+    gamma = SecurityContext()
+    gamma.bind("pub", SecurityType(SBit(8), LOW))
+    gamma.bind("sec", SecurityType(SBit(8), HIGH))
+    gamma.bind("flag", SecurityType(SBool(), HIGH))
+    gamma.bind(
+        "hdr",
+        SecurityType(
+            SHeader(
+                (
+                    ("pub_f", SecurityType(SBit(8), LOW)),
+                    ("sec_f", SecurityType(SBit(8), HIGH)),
+                )
+            ),
+            LOW,
+        ),
+    )
+    gamma.bind(
+        "rec",
+        SecurityType(SRecord((("x", SecurityType(SBit(16), HIGH)),)), LOW),
+    )
+    gamma.bind(
+        "low_stack", SecurityType(SStack(SecurityType(SBit(8), LOW), 4), LOW)
+    )
+    gamma.bind(
+        "high_stack", SecurityType(SStack(SecurityType(SBit(8), HIGH), 4), LOW)
+    )
+    return checker, gamma, labeler
+
+
+def type_of(source: str):
+    checker, gamma, labeler = make_env()
+    sec_type, direction = checker.check_expression(
+        parse_expression(source), gamma, labeler, checker.lattice.bottom
+    )
+    return sec_type, direction, checker
+
+
+class TestLiterals:
+    def test_int_literal_is_bottom(self):
+        sec, direction, _ = type_of("42")
+        assert isinstance(sec.body, SInt)
+        assert sec.label == LOW
+        assert direction == DIR_IN
+
+    def test_width_literal_is_bit(self):
+        sec, _, _ = type_of("8w3")
+        assert isinstance(sec.body, SBit)
+        assert sec.body.width == 8
+
+    def test_bool_literal(self):
+        sec, _, _ = type_of("true")
+        assert isinstance(sec.body, SBool)
+        assert sec.label == LOW
+
+
+class TestVariablesAndProjections:
+    def test_variable_direction_is_inout(self):
+        sec, direction, _ = type_of("sec")
+        assert sec.label == HIGH
+        assert direction == DIR_INOUT
+
+    def test_header_field_keeps_field_label(self):
+        sec, direction, _ = type_of("hdr.sec_f")
+        assert sec.label == HIGH
+        assert direction == DIR_INOUT
+
+    def test_low_header_field(self):
+        sec, _, _ = type_of("hdr.pub_f")
+        assert sec.label == LOW
+
+    def test_record_field(self):
+        sec, _, _ = type_of("rec.x")
+        assert sec.label == HIGH
+        assert sec.body.width == 16
+
+
+class TestOperators:
+    def test_join_of_operand_labels(self):
+        assert type_of("pub + sec")[0].label == HIGH
+        assert type_of("pub + pub")[0].label == LOW
+        assert type_of("sec + sec")[0].label == HIGH
+
+    def test_comparison_result_is_bool(self):
+        sec, _, _ = type_of("pub == sec")
+        assert isinstance(sec.body, SBool)
+        assert sec.label == HIGH
+
+    def test_literal_operand_keeps_other_label(self):
+        assert type_of("sec + 1")[0].label == HIGH
+        assert type_of("pub + 1")[0].label == LOW
+
+    def test_unary_keeps_label(self):
+        assert type_of("!flag")[0].label == HIGH
+        assert type_of("~pub")[0].label == LOW
+
+    def test_direction_of_operations_is_in(self):
+        assert type_of("pub + 1")[1] == DIR_IN
+
+
+class TestRecordsAndStacks:
+    def test_record_literal_field_labels(self):
+        sec, direction, _ = type_of("{a = pub, b = sec}")
+        fields = dict(sec.body.fields)
+        assert fields["a"].label == LOW
+        assert fields["b"].label == HIGH
+        assert direction == DIR_IN
+
+    def test_low_index_into_stack(self):
+        sec, _, checker = type_of("low_stack[1]")
+        assert sec.label == LOW
+        assert not checker._diagnostics
+
+    def test_high_index_into_low_stack_flagged(self):
+        _, _, checker = type_of("low_stack[sec]")
+        assert [d.kind for d in checker._diagnostics] == [ViolationKind.EXPLICIT_FLOW]
+
+    def test_high_index_into_high_stack_ok(self):
+        sec, _, checker = type_of("high_stack[sec]")
+        assert sec.label == HIGH
+        assert not checker._diagnostics
+
+    def test_stack_direction_propagates(self):
+        assert type_of("low_stack[0]")[1] == DIR_INOUT
+
+
+class TestSubsumption:
+    """T-SubType-In: in-direction expressions may raise their label,
+    exercised through whole programs (argument passing and assignment)."""
+
+    PRELUDE = """
+    header h_t { <bit<8>, low> pub; <bit<8>, high> sec; }
+    struct headers { h_t h; }
+    """
+
+    def check(self, locals_, body):
+        from repro.ifc import check_ifc
+
+        source = (
+            self.PRELUDE
+            + "control C(inout headers hdr) {\n"
+            + locals_
+            + "\n apply {\n"
+            + body
+            + "\n } }"
+        )
+        return check_ifc(parse_program(source))
+
+    def test_low_value_accepted_at_high_position(self):
+        assert self.check(
+            "  action f(in <bit<8>, high> v) { hdr.h.sec = v; }", "f(hdr.h.pub);"
+        ).ok
+
+    def test_literal_accepted_anywhere(self):
+        assert self.check(
+            "  action f(in <bit<8>, high> v) { hdr.h.sec = v; }", "f(200);"
+        ).ok
+
+    def test_low_to_high_assignment_uses_subsumption(self):
+        assert self.check("", "hdr.h.sec = hdr.h.pub;").ok

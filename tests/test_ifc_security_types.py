@@ -1,0 +1,175 @@
+"""Unit tests for security types and their structural helpers."""
+
+from repro.ifc.security_types import (
+    SBit,
+    SBool,
+    SFunction,
+    SHeader,
+    SInt,
+    SParam,
+    SRecord,
+    SStack,
+    STable,
+    SUnit,
+    SecurityType,
+    bodies_compatible,
+    flow_allowed,
+    join_into,
+    labels_equal,
+    read_label,
+)
+from repro.ifc.checker import write_label
+from repro.lattice.two_point import HIGH, LOW, TwoPointLattice
+from repro.lattice.diamond import ALICE, BOB, BOT, TOP, DiamondLattice
+
+L = TwoPointLattice()
+D = DiamondLattice()
+
+
+def bit(label, width=8):
+    return SecurityType(SBit(width), label)
+
+
+def header(**fields):
+    return SecurityType(SHeader(tuple(fields.items())), L.bottom)
+
+
+def dheader(**fields):
+    """A header whose outer label is the diamond lattice's bottom."""
+    return SecurityType(SHeader(tuple(fields.items())), D.bottom)
+
+
+class TestBodiesCompatible:
+    def test_scalars(self):
+        assert bodies_compatible(SBit(8), SBit(8))
+        assert not bodies_compatible(SBit(8), SBit(16))
+        assert bodies_compatible(SBit(8), SInt())
+        assert bodies_compatible(SBool(), SBool())
+        assert not bodies_compatible(SBool(), SBit(1))
+        assert bodies_compatible(SUnit(), SUnit())
+
+    def test_records_field_by_field(self):
+        a = SRecord((("x", bit(LOW)), ("y", bit(HIGH))))
+        b = SRecord((("x", bit(HIGH)), ("y", bit(LOW))))
+        assert bodies_compatible(a, b)  # labels ignored, shapes match
+        c = SRecord((("x", bit(LOW)),))
+        assert not bodies_compatible(a, c)
+
+    def test_header_vs_record_not_compatible(self):
+        h = SHeader((("x", bit(LOW)),))
+        r = SRecord((("x", bit(LOW)),))
+        assert not bodies_compatible(h, r)
+
+    def test_stacks(self):
+        a = SStack(bit(LOW), 4)
+        b = SStack(bit(HIGH), 4)
+        c = SStack(bit(LOW), 5)
+        assert bodies_compatible(a, b)
+        assert not bodies_compatible(a, c)
+
+
+class TestFlowAllowed:
+    def test_scalar_upward_flow(self):
+        assert flow_allowed(L, bit(LOW), bit(HIGH))
+        assert not flow_allowed(L, bit(HIGH), bit(LOW))
+        assert flow_allowed(L, bit(LOW), bit(LOW))
+
+    def test_diamond_incomparable(self):
+        assert not flow_allowed(D, bit(ALICE), bit(BOB))
+        assert not flow_allowed(D, bit(BOB), bit(ALICE))
+        assert flow_allowed(D, bit(ALICE), bit(TOP))
+        assert flow_allowed(D, bit(BOT), bit(BOB))
+
+    def test_composite_fieldwise(self):
+        source = header(a=bit(LOW), b=bit(LOW))
+        dest = header(a=bit(LOW), b=bit(HIGH))
+        assert flow_allowed(L, source, dest)
+        assert not flow_allowed(L, dest, source)
+
+    def test_stack_elementwise(self):
+        low_stack = SecurityType(SStack(bit(LOW), 3), LOW)
+        high_stack = SecurityType(SStack(bit(HIGH), 3), LOW)
+        assert flow_allowed(L, low_stack, high_stack)
+        assert not flow_allowed(L, high_stack, low_stack)
+
+
+class TestLabelsEqual:
+    def test_equal_iff_both_directions(self):
+        assert labels_equal(L, bit(HIGH), bit(HIGH))
+        assert not labels_equal(L, bit(LOW), bit(HIGH))
+        assert not labels_equal(L, bit(HIGH), bit(LOW))
+
+    def test_composite_equality(self):
+        a = header(x=bit(LOW), y=bit(HIGH))
+        b = header(x=bit(LOW), y=bit(HIGH))
+        c = header(x=bit(HIGH), y=bit(HIGH))
+        assert labels_equal(L, a, b)
+        assert not labels_equal(L, a, c)
+
+
+class TestJoinInto:
+    def test_scalar_join(self):
+        raised = join_into(L, bit(LOW), HIGH)
+        assert raised.label == HIGH
+
+    def test_composite_pushes_into_fields(self):
+        raised = join_into(D, dheader(x=bit(BOT), y=bit(BOB)), ALICE)
+        assert raised.label == D.bottom  # outer label stays bottom (Fig. 4)
+        fields = dict(raised.body.fields)
+        assert fields["x"].label == ALICE
+        assert fields["y"].label == TOP  # join(B, A) = top
+
+    def test_stack_pushes_into_element(self):
+        stack = SecurityType(SStack(bit(LOW), 2), LOW)
+        raised = join_into(L, stack, HIGH)
+        assert raised.body.element.label == HIGH
+
+
+class TestReadAndWriteLabels:
+    def test_read_label_scalar(self):
+        assert read_label(L, bit(HIGH)) == HIGH
+
+    def test_read_label_composite_is_join(self):
+        assert read_label(L, header(x=bit(LOW), y=bit(HIGH))) == HIGH
+        assert read_label(L, header(x=bit(LOW), y=bit(LOW))) == LOW
+        assert read_label(D, dheader(x=bit(ALICE), y=bit(BOB))) == TOP
+
+    def test_write_label_scalar(self):
+        assert write_label(L, bit(HIGH)) == HIGH
+
+    def test_write_label_composite_is_meet(self):
+        assert write_label(L, header(x=bit(LOW), y=bit(HIGH))) == LOW
+        assert write_label(D, header(x=bit(ALICE), y=bit(BOB))) == BOT
+
+    def test_write_label_stack(self):
+        assert write_label(L, SecurityType(SStack(bit(HIGH), 4), LOW)) == HIGH
+
+
+class TestDescriptions:
+    def test_describe_function(self):
+        fn = SFunction(
+            (SParam("in", bit(HIGH), "x"),), LOW, SecurityType(SUnit(), LOW)
+        )
+        text = fn.describe()
+        assert "-->" in text and "low" in text
+
+    def test_describe_table(self):
+        assert "table(high)" in STable(HIGH).describe()
+
+    def test_describe_security_type(self):
+        assert bit(HIGH).describe() == "<bit<8>, high>"
+
+    def test_with_label(self):
+        assert bit(LOW).with_label(HIGH).label == HIGH
+
+    def test_function_parameter_partition(self):
+        fn = SFunction(
+            (
+                SParam("in", bit(LOW), "a", control_plane=False),
+                SParam("in", bit(HIGH), "b", control_plane=True),
+            ),
+            LOW,
+            SecurityType(SUnit(), LOW),
+        )
+        assert [p.name for p in fn.directional_parameters()] == ["a"]
+        assert [p.name for p in fn.control_plane_parameters()] == ["b"]

@@ -1,0 +1,225 @@
+"""IFC typing of statements (Figure 6): explicit flows, implicit flows,
+control signals, and table application contexts."""
+
+from repro.frontend.parser import parse_program
+from repro.ifc import ViolationKind, check_ifc
+from repro.lattice import DiamondLattice
+
+PRELUDE = """
+header h_t {
+    <bit<8>, low>  pub;
+    <bit<8>, low>  pub2;
+    <bit<8>, high> sec;
+    <bit<8>, high> sec2;
+    <bool, low>    pub_flag;
+    <bool, high>   sec_flag;
+}
+struct headers { h_t h; }
+"""
+
+
+def ifc(body: str, locals_: str = "", lattice=None):
+    source = (
+        PRELUDE
+        + "control C(inout headers hdr) {\n"
+        + locals_
+        + "\n  apply {\n"
+        + body
+        + "\n  }\n}"
+    )
+    return check_ifc(parse_program(source), lattice)
+
+
+def kinds(result):
+    return [diag.kind for diag in result.diagnostics]
+
+
+class TestAssign:
+    def test_low_to_low(self):
+        assert ifc("hdr.h.pub = hdr.h.pub2;").ok
+
+    def test_low_to_high(self):
+        assert ifc("hdr.h.sec = hdr.h.pub;").ok
+
+    def test_high_to_high(self):
+        assert ifc("hdr.h.sec = hdr.h.sec2;").ok
+
+    def test_high_to_low_rejected(self):
+        result = ifc("hdr.h.pub = hdr.h.sec;")
+        assert kinds(result) == [ViolationKind.EXPLICIT_FLOW]
+
+    def test_constant_to_low(self):
+        assert ifc("hdr.h.pub = 3;").ok
+
+    def test_binop_label_is_join(self):
+        result = ifc("hdr.h.pub = hdr.h.pub2 + hdr.h.sec;")
+        assert kinds(result) == [ViolationKind.EXPLICIT_FLOW]
+
+    def test_binop_of_lows_is_low(self):
+        assert ifc("hdr.h.pub = hdr.h.pub + hdr.h.pub2;").ok
+
+    def test_high_binop_into_high(self):
+        assert ifc("hdr.h.sec = hdr.h.sec + hdr.h.pub;").ok
+
+    def test_unary_preserves_label(self):
+        assert kinds(ifc("hdr.h.pub = ~hdr.h.sec;")) == [ViolationKind.EXPLICIT_FLOW]
+
+    def test_each_leak_reported_separately(self):
+        result = ifc("hdr.h.pub = hdr.h.sec; hdr.h.pub2 = hdr.h.sec2;")
+        assert kinds(result) == [ViolationKind.EXPLICIT_FLOW] * 2
+
+
+class TestConditionals:
+    def test_low_guard_low_write(self):
+        assert ifc("if (hdr.h.pub_flag) { hdr.h.pub = 1; }").ok
+
+    def test_high_guard_high_write(self):
+        assert ifc("if (hdr.h.sec_flag) { hdr.h.sec = 1; }").ok
+
+    def test_high_guard_low_write_rejected(self):
+        result = ifc("if (hdr.h.sec_flag) { hdr.h.pub = 1; }")
+        assert kinds(result) == [ViolationKind.IMPLICIT_FLOW]
+
+    def test_high_guard_low_write_in_else(self):
+        result = ifc("if (hdr.h.sec_flag) { hdr.h.sec = 1; } else { hdr.h.pub = 1; }")
+        assert kinds(result) == [ViolationKind.IMPLICIT_FLOW]
+
+    def test_high_comparison_guard(self):
+        result = ifc("if (hdr.h.sec == 3) { hdr.h.pub = 1; }")
+        assert kinds(result) == [ViolationKind.IMPLICIT_FLOW]
+
+    def test_nested_guards_join(self):
+        body = """
+        if (hdr.h.pub_flag) {
+            if (hdr.h.sec_flag) {
+                hdr.h.pub = 1;
+            }
+        }
+        """
+        assert kinds(ifc(body)) == [ViolationKind.IMPLICIT_FLOW]
+
+    def test_high_guard_then_low_write_after_branch(self):
+        # The pc is restored after the conditional: writes after it are fine.
+        body = """
+        if (hdr.h.sec_flag) { hdr.h.sec = 1; }
+        hdr.h.pub = 2;
+        """
+        assert ifc(body).ok
+
+    def test_both_branches_checked(self):
+        body = "if (hdr.h.sec_flag) { hdr.h.pub = 1; } else { hdr.h.pub2 = 2; }"
+        assert kinds(ifc(body)) == [ViolationKind.IMPLICIT_FLOW] * 2
+
+    def test_local_variable_declared_in_high_branch(self):
+        body = """
+        if (hdr.h.sec_flag) {
+            <bit<8>, high> tmp = hdr.h.sec;
+            hdr.h.sec = tmp + 1;
+        }
+        """
+        assert ifc(body).ok
+
+
+class TestControlSignals:
+    def test_exit_at_low_pc(self):
+        assert ifc("exit;").ok
+
+    def test_exit_under_high_guard_rejected(self):
+        result = ifc("if (hdr.h.sec_flag) { exit; }")
+        assert ViolationKind.CONTROL_SIGNAL in kinds(result)
+
+    def test_exit_under_low_guard(self):
+        assert ifc("if (hdr.h.pub_flag) { exit; }").ok
+
+    def test_return_in_action_under_high_guard(self):
+        locals_ = """
+  action f() {
+      if (hdr.h.sec_flag) { return; }
+      hdr.h.sec = 1;
+  }
+"""
+        result = ifc("f();", locals_)
+        assert ViolationKind.CONTROL_SIGNAL in kinds(result)
+
+
+class TestVarDeclStatements:
+    def test_high_init_into_high_local(self):
+        assert ifc("<bit<8>, high> t = hdr.h.sec; hdr.h.sec = t;").ok
+
+    def test_high_init_into_low_local_rejected(self):
+        result = ifc("<bit<8>, low> t = hdr.h.sec;")
+        assert kinds(result) == [ViolationKind.EXPLICIT_FLOW]
+
+    def test_low_local_flows_to_low(self):
+        assert ifc("bit<8> t = hdr.h.pub; hdr.h.pub2 = t;").ok
+
+    def test_high_local_cannot_reach_low_field(self):
+        result = ifc("<bit<8>, high> t = hdr.h.sec; hdr.h.pub = t;")
+        assert kinds(result) == [ViolationKind.EXPLICIT_FLOW]
+
+    def test_unannotated_local_defaults_to_low(self):
+        result = ifc("bit<8> t = hdr.h.sec;")
+        assert kinds(result) == [ViolationKind.EXPLICIT_FLOW]
+
+
+class TestTableApplication:
+    LOCALS = """
+  action set_pub() { hdr.h.pub = 1; }
+  action set_sec() { hdr.h.sec = 1; }
+  table low_writer { key = { hdr.h.pub2: exact; } actions = { set_pub; } }
+  table high_writer { key = { hdr.h.sec2: exact; } actions = { set_sec; } }
+"""
+
+    def test_low_table_at_low_pc(self):
+        assert ifc("low_writer.apply();", self.LOCALS).ok
+
+    def test_low_table_under_high_guard_rejected(self):
+        result = ifc("if (hdr.h.sec_flag) { low_writer.apply(); }", self.LOCALS)
+        assert ViolationKind.IMPLICIT_FLOW in kinds(result)
+
+    def test_high_table_under_high_guard(self):
+        assert ifc("if (hdr.h.sec_flag) { high_writer.apply(); }", self.LOCALS).ok
+
+    def test_action_call_under_high_guard_rejected(self):
+        result = ifc("if (hdr.h.sec_flag) { set_pub(); }", self.LOCALS)
+        assert ViolationKind.CALL_CONTEXT in kinds(result)
+
+    def test_high_action_call_under_high_guard(self):
+        assert ifc("if (hdr.h.sec_flag) { set_sec(); }", self.LOCALS).ok
+
+
+class TestDiamondPc:
+    SOURCE = """
+    header d_t { <bit<8>, A> a; <bit<8>, B> b; <bit<8>, top> t; <bit<8>, bot> r; }
+    struct headers { d_t d; }
+
+    @pc(A)
+    control Alice(inout headers hdr) {
+        apply {
+            BODY
+        }
+    }
+    """
+
+    def check(self, body):
+        return check_ifc(
+            parse_program(self.SOURCE.replace("BODY", body)), DiamondLattice()
+        )
+
+    def test_alice_writes_own_field(self):
+        assert self.check("hdr.d.a = hdr.d.r;").ok
+
+    def test_alice_writes_telemetry(self):
+        assert self.check("hdr.d.t = hdr.d.t + 1;").ok
+
+    def test_alice_cannot_write_bob(self):
+        result = self.check("hdr.d.b = 1;")
+        assert ViolationKind.IMPLICIT_FLOW in kinds(result)
+
+    def test_alice_cannot_write_bottom(self):
+        result = self.check("hdr.d.r = 1;")
+        assert ViolationKind.IMPLICIT_FLOW in kinds(result)
+
+    def test_alice_cannot_read_telemetry_into_own(self):
+        result = self.check("hdr.d.a = hdr.d.t;")
+        assert ViolationKind.EXPLICIT_FLOW in kinds(result)

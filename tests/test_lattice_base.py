@@ -1,0 +1,226 @@
+"""Unit tests for the security lattices."""
+
+import pytest
+
+from repro.lattice import (
+    ChainLattice,
+    DiamondLattice,
+    FiniteLattice,
+    LatticeError,
+    PowersetLattice,
+    ProductLattice,
+    TwoPointLattice,
+    available_lattices,
+    get_lattice,
+    register_lattice,
+)
+from repro.lattice.two_point import HIGH, LOW
+from repro.lattice.diamond import ALICE, BOB, BOT, TOP
+
+
+class TestTwoPoint:
+    def test_order(self, two_point):
+        assert two_point.leq(LOW, HIGH)
+        assert not two_point.leq(HIGH, LOW)
+        assert two_point.leq(LOW, LOW)
+        assert two_point.leq(HIGH, HIGH)
+
+    def test_bounds(self, two_point):
+        assert two_point.bottom == LOW
+        assert two_point.top == HIGH
+
+    def test_join_meet(self, two_point):
+        assert two_point.join(LOW, HIGH) == HIGH
+        assert two_point.join(LOW, LOW) == LOW
+        assert two_point.meet(LOW, HIGH) == LOW
+        assert two_point.meet(HIGH, HIGH) == HIGH
+
+    def test_validate(self, two_point):
+        two_point.validate()
+
+    def test_membership(self, two_point):
+        assert LOW in two_point
+        assert HIGH in two_point
+        assert "medium" not in two_point
+
+    def test_parse_label_aliases(self, two_point):
+        assert two_point.parse_label("public") == LOW
+        assert two_point.parse_label("secret") == HIGH
+        assert two_point.parse_label("HIGH") == HIGH
+        assert two_point.parse_label("trusted") == LOW
+        assert two_point.parse_label("untrusted") == HIGH
+
+    def test_parse_label_unknown(self, two_point):
+        with pytest.raises(LatticeError):
+            two_point.parse_label("medium")
+
+    def test_require_rejects_foreign_label(self, two_point):
+        with pytest.raises(LatticeError):
+            two_point.require("A")
+
+    def test_join_all_empty_is_bottom(self, two_point):
+        assert two_point.join_all([]) == LOW
+
+    def test_meet_all_empty_is_top(self, two_point):
+        assert two_point.meet_all([]) == HIGH
+
+
+class TestDiamond:
+    def test_validate(self, diamond):
+        diamond.validate()
+
+    def test_incomparable_tenants(self, diamond):
+        assert not diamond.leq(ALICE, BOB)
+        assert not diamond.leq(BOB, ALICE)
+        assert not diamond.comparable(ALICE, BOB)
+
+    def test_bounds(self, diamond):
+        assert diamond.bottom == BOT
+        assert diamond.top == TOP
+
+    def test_join_of_tenants_is_top(self, diamond):
+        assert diamond.join(ALICE, BOB) == TOP
+
+    def test_meet_of_tenants_is_bottom(self, diamond):
+        assert diamond.meet(ALICE, BOB) == BOT
+
+    def test_everyone_below_top(self, diamond):
+        for label in diamond.labels():
+            assert diamond.leq(label, TOP)
+
+    def test_parse_aliases(self, diamond):
+        assert diamond.parse_label("alice") == ALICE
+        assert diamond.parse_label("Bob") == BOB
+        assert diamond.parse_label("bot") == BOT
+        assert diamond.parse_label("top") == TOP
+
+
+class TestChain:
+    def test_of_height(self):
+        chain = ChainLattice.of_height(5)
+        chain.validate()
+        assert len(list(chain.labels())) == 5
+        assert chain.bottom == "L0"
+        assert chain.top == "L4"
+
+    def test_rank_and_order(self):
+        chain = ChainLattice(["u", "c", "s", "ts"])
+        assert chain.rank("u") == 0
+        assert chain.rank("ts") == 3
+        assert chain.leq("u", "ts")
+        assert not chain.leq("s", "c")
+
+    def test_join_is_max(self):
+        chain = ChainLattice.of_height(4)
+        assert chain.join("L1", "L3") == "L3"
+        assert chain.meet("L1", "L3") == "L1"
+
+    def test_needs_two_levels(self):
+        with pytest.raises(LatticeError):
+            ChainLattice(["only"])
+
+    def test_duplicate_levels_rejected(self):
+        with pytest.raises(LatticeError):
+            ChainLattice(["a", "a"])
+
+
+class TestProduct:
+    def test_pointwise_order(self, two_point):
+        product = ProductLattice(two_point, two_point)
+        product.validate()
+        assert product.leq((LOW, LOW), (HIGH, HIGH))
+        assert not product.leq((HIGH, LOW), (LOW, HIGH))
+        assert product.join((HIGH, LOW), (LOW, HIGH)) == (HIGH, HIGH)
+        assert product.meet((HIGH, LOW), (LOW, HIGH)) == (LOW, LOW)
+
+    def test_bounds(self, two_point, diamond):
+        product = ProductLattice(two_point, diamond)
+        assert product.bottom == (LOW, BOT)
+        assert product.top == (HIGH, TOP)
+
+    def test_parse_and_format(self, two_point):
+        product = ProductLattice(two_point, two_point)
+        assert product.parse_label("(low, high)") == (LOW, HIGH)
+        assert product.format_label((LOW, HIGH)) == "(low, high)"
+
+
+class TestPowerset:
+    def test_inclusion_order(self):
+        lattice = PowersetLattice(["a", "b", "c"])
+        lattice.validate()
+        assert lattice.leq(frozenset(), frozenset({"a"}))
+        assert lattice.leq(frozenset({"a"}), frozenset({"a", "b"}))
+        assert not lattice.leq(frozenset({"a"}), frozenset({"b"}))
+
+    def test_join_is_union(self):
+        lattice = PowersetLattice(["a", "b"])
+        assert lattice.join(frozenset({"a"}), frozenset({"b"})) == frozenset({"a", "b"})
+        assert lattice.meet(frozenset({"a"}), frozenset({"a", "b"})) == frozenset({"a"})
+
+    def test_bounds(self):
+        lattice = PowersetLattice(["a", "b"])
+        assert lattice.bottom == frozenset()
+        assert lattice.top == frozenset({"a", "b"})
+
+    def test_parse_label(self):
+        lattice = PowersetLattice(["carol", "dave"])
+        assert lattice.parse_label("{carol}") == frozenset({"carol"})
+        assert lattice.parse_label("{carol, dave}") == frozenset({"carol", "dave"})
+        assert lattice.parse_label("bot") == frozenset()
+        assert lattice.parse_label("top") == frozenset({"carol", "dave"})
+
+    def test_parse_unknown_principal(self):
+        lattice = PowersetLattice(["carol", "dave"])
+        with pytest.raises(LatticeError):
+            lattice.parse_label("{mallory}")
+
+    def test_label_count(self):
+        lattice = PowersetLattice(["a", "b", "c"])
+        assert len(list(lattice.labels())) == 8
+
+    def test_duplicate_principals_rejected(self):
+        with pytest.raises(LatticeError):
+            PowersetLattice(["a", "a"])
+
+
+class TestFiniteLattice:
+    def test_rejects_missing_bottom(self):
+        with pytest.raises(LatticeError):
+            FiniteLattice(["a", "b"], [], name="two-incomparable")
+
+    def test_rejects_label_outside_carrier(self):
+        with pytest.raises(LatticeError):
+            FiniteLattice(["a"], [("a", "z")])
+
+    def test_from_upsets(self):
+        lattice = FiniteLattice.from_upsets({"lo": ["hi"], "hi": []}, name="mini")
+        assert lattice.leq("lo", "hi")
+        assert lattice.bottom == "lo"
+        assert lattice.top == "hi"
+
+    def test_transitive_closure(self):
+        lattice = FiniteLattice(["a", "b", "c"], [("a", "b"), ("b", "c")])
+        assert lattice.leq("a", "c")
+        lattice.validate()
+
+
+class TestRegistry:
+    def test_builtin_lattices(self):
+        assert "two-point" in available_lattices()
+        assert "diamond" in available_lattices()
+        assert isinstance(get_lattice("two-point"), TwoPointLattice)
+        assert isinstance(get_lattice("diamond"), DiamondLattice)
+
+    def test_chain_by_name(self):
+        chain = get_lattice("chain-7")
+        assert isinstance(chain, ChainLattice)
+        assert len(list(chain.labels())) == 7
+
+    def test_unknown_name(self):
+        with pytest.raises(LatticeError):
+            get_lattice("moebius")
+
+    def test_register_custom(self):
+        register_lattice("custom-for-test", lambda: ChainLattice.of_height(3))
+        assert "custom-for-test" in available_lattices()
+        assert isinstance(get_lattice("custom-for-test"), ChainLattice)

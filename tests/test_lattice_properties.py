@@ -1,0 +1,130 @@
+"""Property-based tests of the lattice laws (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.lattice import (
+    ChainLattice,
+    DiamondLattice,
+    PowersetLattice,
+    ProductLattice,
+    TwoPointLattice,
+)
+
+LATTICES = [
+    TwoPointLattice(),
+    DiamondLattice(),
+    ChainLattice.of_height(5),
+    PowersetLattice(["a", "b", "c"]),
+    ProductLattice(TwoPointLattice(), DiamondLattice()),
+]
+
+
+def lattice_and_labels(count: int):
+    """Strategy: a lattice plus ``count`` labels drawn from it."""
+
+    @st.composite
+    def build(draw):
+        lattice = draw(st.sampled_from(LATTICES))
+        labels = [draw(st.sampled_from(list(lattice.labels()))) for _ in range(count)]
+        return (lattice, *labels)
+
+    return build()
+
+
+@given(lattice_and_labels(2))
+@settings(max_examples=200)
+def test_join_commutative(data):
+    lattice, a, b = data
+    assert lattice.join(a, b) == lattice.join(b, a)
+
+
+@given(lattice_and_labels(2))
+@settings(max_examples=200)
+def test_meet_commutative(data):
+    lattice, a, b = data
+    assert lattice.meet(a, b) == lattice.meet(b, a)
+
+
+@given(lattice_and_labels(3))
+@settings(max_examples=200)
+def test_join_associative(data):
+    lattice, a, b, c = data
+    assert lattice.join(a, lattice.join(b, c)) == lattice.join(lattice.join(a, b), c)
+
+
+@given(lattice_and_labels(3))
+@settings(max_examples=200)
+def test_meet_associative(data):
+    lattice, a, b, c = data
+    assert lattice.meet(a, lattice.meet(b, c)) == lattice.meet(lattice.meet(a, b), c)
+
+
+@given(lattice_and_labels(1))
+@settings(max_examples=100)
+def test_join_meet_idempotent(data):
+    lattice, a = data
+    assert lattice.join(a, a) == a
+    assert lattice.meet(a, a) == a
+
+
+@given(lattice_and_labels(2))
+@settings(max_examples=200)
+def test_absorption(data):
+    lattice, a, b = data
+    assert lattice.join(a, lattice.meet(a, b)) == a
+    assert lattice.meet(a, lattice.join(a, b)) == a
+
+
+@given(lattice_and_labels(2))
+@settings(max_examples=200)
+def test_join_is_upper_bound(data):
+    lattice, a, b = data
+    joined = lattice.join(a, b)
+    assert lattice.leq(a, joined)
+    assert lattice.leq(b, joined)
+
+
+@given(lattice_and_labels(2))
+@settings(max_examples=200)
+def test_meet_is_lower_bound(data):
+    lattice, a, b = data
+    met = lattice.meet(a, b)
+    assert lattice.leq(met, a)
+    assert lattice.leq(met, b)
+
+
+@given(lattice_and_labels(2))
+@settings(max_examples=200)
+def test_order_consistent_with_join(data):
+    lattice, a, b = data
+    assert lattice.leq(a, b) == (lattice.join(a, b) == b)
+
+
+@given(lattice_and_labels(2))
+@settings(max_examples=200)
+def test_order_consistent_with_meet(data):
+    lattice, a, b = data
+    assert lattice.leq(a, b) == (lattice.meet(a, b) == a)
+
+
+@given(lattice_and_labels(3))
+@settings(max_examples=200)
+def test_join_monotone(data):
+    lattice, a, b, c = data
+    if lattice.leq(a, b):
+        assert lattice.leq(lattice.join(a, c), lattice.join(b, c))
+
+
+@given(lattice_and_labels(1))
+@settings(max_examples=100)
+def test_bounds(data):
+    lattice, a = data
+    assert lattice.leq(lattice.bottom, a)
+    assert lattice.leq(a, lattice.top)
+
+
+@given(lattice_and_labels(1))
+@settings(max_examples=100)
+def test_parse_format_roundtrip(data):
+    lattice, a = data
+    assert lattice.parse_label(lattice.format_label(a)) == a

@@ -1,0 +1,131 @@
+"""Unit tests for the lexer."""
+
+import pytest
+
+from repro.frontend.errors import LexerError
+from repro.frontend.lexer import Token, TokenKind, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source) if t.kind is not TokenKind.EOF]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source) if t.kind is not TokenKind.EOF]
+
+
+class TestBasicTokens:
+    def test_empty_input_yields_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind is TokenKind.EOF
+
+    def test_identifier(self):
+        (token,) = [t for t in tokenize("hdr_field1") if t.kind is not TokenKind.EOF]
+        assert token.kind is TokenKind.IDENT
+        assert token.text == "hdr_field1"
+
+    def test_keyword(self):
+        (token,) = [t for t in tokenize("control") if t.kind is not TokenKind.EOF]
+        assert token.kind is TokenKind.KEYWORD
+
+    def test_keywords_are_not_identifiers(self):
+        for word in ("header", "table", "apply", "action", "if", "else", "exit"):
+            (token,) = [t for t in tokenize(word) if t.kind is not TokenKind.EOF]
+            assert token.kind is TokenKind.KEYWORD, word
+
+    def test_punctuation_sequence(self):
+        assert texts("{ } ( ) [ ] ; : , . @") == list("{}()[];:,.@")
+
+    def test_multi_char_operators(self):
+        assert texts("== != <= >= && || << >>") == [
+            "==",
+            "!=",
+            "<=",
+            ">=",
+            "&&",
+            "||",
+            "<<",
+            ">>",
+        ]
+
+    def test_maximal_munch(self):
+        # "<<=" lexes as "<<" then "="
+        assert texts("<<=") == ["<<", "="]
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexerError):
+            tokenize("$")
+
+
+class TestNumbers:
+    def test_decimal(self):
+        (token,) = [t for t in tokenize("42") if t.kind is not TokenKind.EOF]
+        assert token.kind is TokenKind.INT
+        assert token.value == 42
+        assert token.width is None
+
+    def test_hexadecimal(self):
+        (token,) = [t for t in tokenize("0xFF") if t.kind is not TokenKind.EOF]
+        assert token.value == 255
+
+    def test_width_annotated_literal(self):
+        (token,) = [t for t in tokenize("8w255") if t.kind is not TokenKind.EOF]
+        assert token.value == 255
+        assert token.width == 8
+
+    def test_underscore_separators(self):
+        (token,) = [t for t in tokenize("1_000") if t.kind is not TokenKind.EOF]
+        assert token.value == 1000
+
+    def test_malformed_literal(self):
+        with pytest.raises(LexerError):
+            tokenize("8wxyz")
+
+
+class TestTriviaAndPositions:
+    def test_line_comment(self):
+        assert texts("a // comment\n b") == ["a", "b"]
+
+    def test_block_comment(self):
+        assert texts("a /* lots \n of text */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexerError):
+            tokenize("/* never closed")
+
+    def test_line_numbers(self):
+        tokens = tokenize("a\n  b")
+        assert tokens[0].span.start.line == 1
+        assert tokens[1].span.start.line == 2
+        assert tokens[1].span.start.column == 3
+
+    def test_filename_recorded(self):
+        tokens = tokenize("x", filename="prog.p4")
+        assert tokens[0].span.filename == "prog.p4"
+
+    def test_is_punct_and_keyword_helpers(self):
+        token = tokenize("{")[0]
+        assert token.is_punct("{")
+        assert not token.is_punct("}")
+        kw = tokenize("apply")[0]
+        assert kw.is_keyword("apply")
+        assert not kw.is_keyword("table")
+
+
+class TestRealisticSnippet:
+    SNIPPET = """
+    control Ingress(inout headers hdr) {
+        action drop() { }
+        table t { key = { hdr.x: exact; } actions = { drop; } }
+        apply { t.apply(); }
+    }
+    """
+
+    def test_lexes_completely(self):
+        tokens = tokenize(self.SNIPPET)
+        assert tokens[-1].kind is TokenKind.EOF
+        assert all(isinstance(t, Token) for t in tokens)
+
+    def test_annotated_type_tokens(self):
+        assert texts("<bit<8>, high>") == ["<", "bit", "<", "8", ">", ",", "high", ">"]

@@ -1,0 +1,131 @@
+"""Property-based tests for low-equivalence and the pair generators."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ifc.security_types import SBit, SBool, SHeader, SRecord, SecurityType
+from repro.lattice import DiamondLattice, TwoPointLattice
+from repro.lattice.two_point import HIGH, LOW
+from repro.ni import ValueGenerator, low_equivalent, low_equivalent_pair, low_project
+
+TWO_POINT = TwoPointLattice()
+DIAMOND = DiamondLattice()
+
+
+@st.composite
+def labelled_type(draw, lattice):
+    """A small random security type over the given lattice."""
+    labels = list(lattice.labels())
+    kind = draw(st.sampled_from(["bit", "bool", "header", "record"]))
+    if kind == "bit":
+        return SecurityType(SBit(draw(st.sampled_from([1, 8, 16, 32]))), draw(st.sampled_from(labels)))
+    if kind == "bool":
+        return SecurityType(SBool(), draw(st.sampled_from(labels)))
+    field_count = draw(st.integers(min_value=1, max_value=4))
+    fields = tuple(
+        (
+            f"f{i}",
+            SecurityType(SBit(8), draw(st.sampled_from(labels))),
+        )
+        for i in range(field_count)
+    )
+    body = SHeader(fields) if kind == "header" else SRecord(fields)
+    return SecurityType(body, lattice.bottom)
+
+
+@st.composite
+def type_and_seed(draw, lattice):
+    return draw(labelled_type(lattice)), draw(st.integers(min_value=0, max_value=10_000))
+
+
+@given(type_and_seed(TWO_POINT))
+@settings(max_examples=150)
+def test_low_equivalence_is_reflexive(data):
+    sec_type, seed = data
+    value = ValueGenerator(random.Random(seed)).random_value(sec_type)
+    for level in (LOW, HIGH):
+        assert low_equivalent(TWO_POINT, level, sec_type, value, value)
+
+
+@given(type_and_seed(TWO_POINT))
+@settings(max_examples=150)
+def test_low_equivalence_is_symmetric(data):
+    sec_type, seed = data
+    rng = random.Random(seed)
+    generator = ValueGenerator(rng)
+    a = generator.random_value(sec_type)
+    b = generator.random_value(sec_type)
+    assert low_equivalent(TWO_POINT, LOW, sec_type, a, b) == low_equivalent(
+        TWO_POINT, LOW, sec_type, b, a
+    )
+
+
+@given(type_and_seed(TWO_POINT))
+@settings(max_examples=150)
+def test_vary_secrets_preserves_low_equivalence(data):
+    sec_type, seed = data
+    generator = ValueGenerator(random.Random(seed))
+    value = generator.random_value(sec_type)
+    varied = generator.vary_secrets(TWO_POINT, LOW, sec_type, value)
+    assert low_equivalent(TWO_POINT, LOW, sec_type, value, varied)
+
+
+@given(type_and_seed(DIAMOND))
+@settings(max_examples=100)
+def test_vary_secrets_preserves_low_equivalence_on_diamond(data):
+    sec_type, seed = data
+    generator = ValueGenerator(random.Random(seed))
+    value = generator.random_value(sec_type)
+    for level in ("bot", "A", "B", "top"):
+        varied = generator.vary_secrets(DIAMOND, level, sec_type, value)
+        assert low_equivalent(DIAMOND, level, sec_type, value, varied)
+
+
+@given(type_and_seed(TWO_POINT))
+@settings(max_examples=150)
+def test_projection_equality_iff_low_equivalent(data):
+    sec_type, seed = data
+    generator = ValueGenerator(random.Random(seed))
+    a = generator.random_value(sec_type)
+    b = generator.random_value(sec_type)
+    same_projection = low_project(TWO_POINT, LOW, sec_type, a) == low_project(
+        TWO_POINT, LOW, sec_type, b
+    )
+    assert same_projection == low_equivalent(TWO_POINT, LOW, sec_type, a, b)
+
+
+@given(type_and_seed(TWO_POINT))
+@settings(max_examples=100)
+def test_equivalence_at_top_implies_equivalence_below(data):
+    """Observation levels are monotone: agreeing at ⊤ (everything visible)
+    implies agreeing at every lower level."""
+    sec_type, seed = data
+    generator = ValueGenerator(random.Random(seed))
+    a = generator.random_value(sec_type)
+    b = generator.random_value(sec_type)
+    if low_equivalent(TWO_POINT, HIGH, sec_type, a, b):
+        assert low_equivalent(TWO_POINT, LOW, sec_type, a, b)
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=100)
+def test_pair_generator_contract(seed):
+    """Pairs agree on every level-visible part and the first component is a
+    fresh random value (so secrets do vary across trials)."""
+    sec_types = {
+        "hdr": SecurityType(
+            SHeader(
+                (
+                    ("pub", SecurityType(SBit(8), LOW)),
+                    ("sec", SecurityType(SBit(8), HIGH)),
+                    ("flag", SecurityType(SBool(), HIGH)),
+                )
+            ),
+            LOW,
+        )
+    }
+    generator = ValueGenerator(random.Random(seed))
+    inputs_a, inputs_b = low_equivalent_pair(TWO_POINT, LOW, sec_types, generator)
+    assert inputs_a.keys() == inputs_b.keys() == {"hdr"}
+    assert low_equivalent(TWO_POINT, LOW, sec_types["hdr"], inputs_a["hdr"], inputs_b["hdr"])

@@ -1,0 +1,281 @@
+"""Tests for the non-interference harness: low-equivalence, generators, and
+the differential check over case studies (the empirical face of Thm 4.3)."""
+
+import random
+
+import pytest
+
+from repro.casestudies import get_case_study
+from repro.frontend.parser import parse_program
+from repro.ifc.security_types import SBit, SBool, SHeader, SecurityType
+from repro.lattice import DiamondLattice, TwoPointLattice
+from repro.lattice.two_point import HIGH, LOW
+from repro.ni import (
+    ValueGenerator,
+    check_non_interference,
+    control_security_types,
+    first_difference,
+    low_equivalent,
+    low_equivalent_pair,
+    low_project,
+    run_pair,
+)
+from repro.semantics.values import BoolValue, HeaderValue, IntValue, RecordValue
+
+L = TwoPointLattice()
+
+
+def mixed_header_type():
+    return SecurityType(
+        SHeader(
+            (
+                ("pub", SecurityType(SBit(8), LOW)),
+                ("sec", SecurityType(SBit(8), HIGH)),
+            )
+        ),
+        LOW,
+    )
+
+
+def header_value(pub, sec):
+    return HeaderValue((("pub", IntValue(pub, 8)), ("sec", IntValue(sec, 8))))
+
+
+class TestLowEquivalence:
+    def test_scalars(self):
+        low_type = SecurityType(SBit(8), LOW)
+        high_type = SecurityType(SBit(8), HIGH)
+        assert low_equivalent(L, LOW, low_type, IntValue(1, 8), IntValue(1, 8))
+        assert not low_equivalent(L, LOW, low_type, IntValue(1, 8), IntValue(2, 8))
+        # high scalars may differ freely at observation level low
+        assert low_equivalent(L, LOW, high_type, IntValue(1, 8), IntValue(2, 8))
+        # ...but not at observation level high
+        assert not low_equivalent(L, HIGH, high_type, IntValue(1, 8), IntValue(2, 8))
+
+    def test_composites(self):
+        ty = mixed_header_type()
+        assert low_equivalent(L, LOW, ty, header_value(1, 5), header_value(1, 9))
+        assert not low_equivalent(L, LOW, ty, header_value(1, 5), header_value(2, 5))
+
+    def test_first_difference_names_the_component(self):
+        ty = mixed_header_type()
+        diff = first_difference(L, LOW, ty, header_value(1, 0), header_value(3, 0))
+        assert diff is not None
+        assert diff[0] == ".pub"
+
+    def test_first_difference_none_when_equivalent(self):
+        ty = mixed_header_type()
+        assert first_difference(L, LOW, ty, header_value(1, 0), header_value(1, 9)) is None
+
+    def test_low_project_masks_secrets(self):
+        ty = mixed_header_type()
+        projected = low_project(L, LOW, ty, header_value(4, 7))
+        assert projected == {"pub": 4, "sec": "<secret>"}
+
+    def test_low_project_bool(self):
+        assert low_project(L, LOW, SecurityType(SBool(), LOW), BoolValue(True)) is True
+
+    def test_diamond_observation_levels(self):
+        lattice = DiamondLattice()
+        alice_type = SecurityType(SBit(8), "A")
+        # An observer at level B cannot see Alice's data...
+        assert low_equivalent(lattice, "B", alice_type, IntValue(1, 8), IntValue(2, 8))
+        # ...but an observer at top can.
+        assert not low_equivalent(lattice, "top", alice_type, IntValue(1, 8), IntValue(2, 8))
+
+
+class TestGenerators:
+    def test_random_value_inhabits_type(self):
+        generator = ValueGenerator(random.Random(1))
+        value = generator.random_value(mixed_header_type())
+        assert isinstance(value, HeaderValue)
+        assert isinstance(value.get("pub"), IntValue)
+
+    def test_generated_pairs_are_low_equivalent(self):
+        generator = ValueGenerator(random.Random(2))
+        types = {"hdr": mixed_header_type()}
+        for _ in range(25):
+            inputs_a, inputs_b = low_equivalent_pair(L, LOW, types, generator)
+            assert low_equivalent(L, LOW, types["hdr"], inputs_a["hdr"], inputs_b["hdr"])
+
+    def test_generated_pairs_eventually_differ_on_secrets(self):
+        generator = ValueGenerator(random.Random(3))
+        types = {"hdr": mixed_header_type()}
+        differs = False
+        for _ in range(25):
+            inputs_a, inputs_b = low_equivalent_pair(L, LOW, types, generator)
+            if inputs_a["hdr"].get("sec") != inputs_b["hdr"].get("sec"):
+                differs = True
+        assert differs
+
+    def test_bit_width_respected(self):
+        generator = ValueGenerator(random.Random(4), max_bits=4)
+        value = generator.random_value(SecurityType(SBit(32), LOW))
+        assert value.width == 32
+        assert value.value < 16
+
+    def test_seeded_generation_is_reproducible(self):
+        a = ValueGenerator(random.Random(9)).random_value(mixed_header_type())
+        b = ValueGenerator(random.Random(9)).random_value(mixed_header_type())
+        assert a == b
+
+
+class TestControlSecurityTypes:
+    def test_parameters_labelled(self):
+        case = get_case_study("cache")
+        program = parse_program(case.insecure_source)
+        types = control_security_types(program)
+        hdr = dict(types["hdr"].body.fields)
+        req = dict(hdr["req"].body.fields)
+        assert req["query"].label == HIGH
+
+    def test_unknown_control_name(self):
+        program = parse_program(get_case_study("cache").secure_source)
+        with pytest.raises(ValueError):
+            control_security_types(program, "Ghost")
+
+
+class TestDifferentialHarness:
+    @pytest.mark.parametrize("name", ["cache", "app", "netchain", "topology", "d2r"])
+    def test_secure_variants_satisfy_ni(self, name):
+        case = get_case_study(name)
+        result = check_non_interference(
+            parse_program(case.secure_source),
+            control_plane=case.control_plane(),
+            trials=40,
+            seed=5,
+        )
+        assert result.holds, str(result.counterexample)
+
+    @pytest.mark.parametrize("name", ["cache", "app", "netchain"])
+    def test_observable_insecure_variants_violate_ni(self, name):
+        case = get_case_study(name)
+        assert case.leak_observable_differentially
+        result = check_non_interference(
+            parse_program(case.insecure_source),
+            control_plane=case.control_plane(),
+            trials=200,
+            seed=5,
+        )
+        assert not result.holds
+        assert result.counterexample is not None
+
+    def test_counterexample_is_informative(self):
+        case = get_case_study("cache")
+        result = check_non_interference(
+            parse_program(case.insecure_source),
+            control_plane=case.control_plane(),
+            trials=200,
+            seed=5,
+        )
+        ce = result.counterexample
+        assert ce.parameter == "hdr"
+        assert "hit" in ce.component
+        assert "differs" in str(ce)
+
+    def test_isolation_insecure_violates_for_bob_observer(self):
+        case = get_case_study("lattice")
+        lattice = DiamondLattice()
+        result = check_non_interference(
+            parse_program(case.insecure_source),
+            lattice,
+            level="B",
+            control_name="Alice_Ingress",
+            control_plane=case.control_plane(),
+            trials=100,
+            seed=3,
+        )
+        assert not result.holds
+
+    def test_isolation_secure_holds_for_every_observer(self):
+        case = get_case_study("lattice")
+        lattice = DiamondLattice()
+        for control_name in case.control_names:
+            for level in ("bot", "A", "B"):
+                result = check_non_interference(
+                    parse_program(case.secure_source),
+                    lattice,
+                    level=level,
+                    control_name=control_name,
+                    control_plane=case.control_plane(),
+                    trials=40,
+                    seed=1,
+                )
+                assert result.holds, (control_name, level, str(result.counterexample))
+
+    def test_d2r_leak_with_directed_inputs(self):
+        """The D2R leak needs the BFS to have terminated; build such packets."""
+        case = get_case_study("d2r")
+        program = parse_program(case.insecure_source)
+
+        def packet(num_hops):
+            return RecordValue(
+                (
+                    (
+                        "bfs",
+                        HeaderValue(
+                            (
+                                ("curr", IntValue(3, 32)),
+                                ("next_node", IntValue(3, 32)),
+                                ("tried_links", IntValue(4, 32)),
+                                ("num_hops", IntValue(num_hops, 32)),
+                            )
+                        ),
+                    ),
+                    (
+                        "ipv4",
+                        HeaderValue(
+                            (
+                                ("priority", IntValue(0, 3)),
+                                ("ttl", IntValue(64, 8)),
+                                ("dstAddr", IntValue(3, 32)),
+                            )
+                        ),
+                    ),
+                )
+            )
+
+        # Same public fields, different secret hop counts: 1 failure vs 4.
+        outputs_a, outputs_b, _ = run_pair(
+            program,
+            {"hdr": packet(num_hops=3)},
+            {"hdr": packet(num_hops=0)},
+            control_plane=case.control_plane(),
+        )
+        priority_a = outputs_a["hdr"].get("ipv4").get("priority")
+        priority_b = outputs_b["hdr"].get("ipv4").get("priority")
+        assert priority_a != priority_b  # the secret is visible in a public field
+
+    def test_d2r_secure_with_directed_inputs(self):
+        case = get_case_study("d2r")
+        program = parse_program(case.secure_source)
+        types = control_security_types(program)
+        result = check_non_interference(
+            program, control_plane=case.control_plane(), trials=60, seed=9
+        )
+        assert result.holds
+        assert "hdr" in types
+
+    def test_signal_divergence_is_a_violation(self):
+        source = """
+        header h_t { <bit<8>, high> sec; <bit<8>, low> pub; }
+        struct headers { h_t h; }
+        control C(inout headers hdr) {
+            apply {
+                if (hdr.h.sec > 7) { exit; }
+            }
+        }
+        """
+        result = check_non_interference(parse_program(source), trials=100, seed=0)
+        assert not result.holds
+        assert result.counterexample.parameter == "<signal>"
+
+    def test_result_reports_parameter_types(self):
+        case = get_case_study("cache")
+        result = check_non_interference(
+            parse_program(case.secure_source),
+            control_plane=case.control_plane(),
+            trials=5,
+            seed=0,
+        )
+        assert "hdr" in result.parameter_types

@@ -1,0 +1,332 @@
+"""Unit tests for the parser."""
+
+import pytest
+
+from repro.frontend.errors import ParserError
+from repro.frontend.parser import parse_expression, parse_program
+from repro.syntax import (
+    Assign,
+    BinaryOp,
+    BitType,
+    Block,
+    BoolLiteral,
+    Call,
+    CallStmt,
+    ControlDecl,
+    Direction,
+    Exit,
+    FieldAccess,
+    FunctionDecl,
+    HeaderDecl,
+    If,
+    Index,
+    IntLiteral,
+    MatchKindDecl,
+    RecordLiteral,
+    Return,
+    StackType,
+    StructDecl,
+    TableDecl,
+    TypeName,
+    TypedefDecl,
+    UnaryOp,
+    Var,
+    VarDecl,
+    VarDeclStmt,
+)
+
+
+class TestExpressions:
+    def test_int_literal(self):
+        expr = parse_expression("42")
+        assert isinstance(expr, IntLiteral)
+        assert expr.value == 42
+
+    def test_width_literal(self):
+        expr = parse_expression("8w200")
+        assert isinstance(expr, IntLiteral)
+        assert expr.width == 8
+
+    def test_bool_literals(self):
+        assert parse_expression("true") == BoolLiteral(True, span=parse_expression("true").span)
+        assert isinstance(parse_expression("false"), BoolLiteral)
+
+    def test_variable(self):
+        expr = parse_expression("hdr")
+        assert isinstance(expr, Var)
+        assert expr.name == "hdr"
+
+    def test_field_access_chain(self):
+        expr = parse_expression("hdr.ipv4.ttl")
+        assert isinstance(expr, FieldAccess)
+        assert expr.field_name == "ttl"
+        assert isinstance(expr.target, FieldAccess)
+        assert expr.target.field_name == "ipv4"
+
+    def test_index(self):
+        expr = parse_expression("stack[3]")
+        assert isinstance(expr, Index)
+        assert isinstance(expr.index, IntLiteral)
+
+    def test_call_with_arguments(self):
+        expr = parse_expression("forward(x, 1)")
+        assert isinstance(expr, Call)
+        assert len(expr.arguments) == 2
+
+    def test_apply_desugars_to_call(self):
+        expr = parse_expression("my_table.apply()")
+        assert isinstance(expr, Call)
+        assert isinstance(expr.callee, Var)
+        assert expr.callee.name == "my_table"
+        assert expr.arguments == ()
+
+    def test_record_literal(self):
+        expr = parse_expression("{a = 1, b = x}")
+        assert isinstance(expr, RecordLiteral)
+        assert [name for name, _ in expr.fields] == ["a", "b"]
+
+    def test_unary(self):
+        expr = parse_expression("!flag")
+        assert isinstance(expr, UnaryOp)
+        assert expr.op == "!"
+
+    def test_precedence_mul_over_add(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert isinstance(expr, BinaryOp)
+        assert expr.op == "+"
+        assert isinstance(expr.right, BinaryOp)
+        assert expr.right.op == "*"
+
+    def test_precedence_comparison_over_logic(self):
+        expr = parse_expression("a < b && c == d")
+        assert expr.op == "&&"
+        assert expr.left.op == "<"
+        assert expr.right.op == "=="
+
+    def test_left_associativity(self):
+        expr = parse_expression("a - b - c")
+        assert expr.op == "-"
+        assert isinstance(expr.left, BinaryOp)
+        assert expr.left.op == "-"
+
+    def test_parentheses(self):
+        expr = parse_expression("(1 + 2) * 3")
+        assert expr.op == "*"
+        assert isinstance(expr.left, BinaryOp)
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParserError):
+            parse_expression("1 + 2 extra")
+
+    def test_missing_operand(self):
+        with pytest.raises(ParserError):
+            parse_expression("1 +")
+
+
+class TestTypeDeclarations:
+    def test_header_with_annotations(self):
+        program = parse_program(
+            "header h_t { <bit<8>, high> secret; bit<16> plain; }"
+        )
+        (decl,) = program.declarations
+        assert isinstance(decl, HeaderDecl)
+        assert decl.fields[0].ty.label == "high"
+        assert isinstance(decl.fields[0].ty.ty, BitType)
+        assert decl.fields[0].ty.ty.width == 8
+        assert decl.fields[1].ty.label is None
+
+    def test_struct(self):
+        program = parse_program("struct headers { h_t h; g_t g; }")
+        (decl,) = program.declarations
+        assert isinstance(decl, StructDecl)
+        assert isinstance(decl.fields[0].ty.ty, TypeName)
+
+    def test_typedef(self):
+        program = parse_program("typedef bit<48> macAddr_t;")
+        (decl,) = program.declarations
+        assert isinstance(decl, TypedefDecl)
+        assert decl.name == "macAddr_t"
+
+    def test_match_kind(self):
+        program = parse_program("match_kind { exact, lpm, ternary }")
+        (decl,) = program.declarations
+        assert isinstance(decl, MatchKindDecl)
+        assert decl.members == ("exact", "lpm", "ternary")
+
+    def test_stack_type_field(self):
+        program = parse_program("header h_t { bit<8>[4] lanes; }")
+        (decl,) = program.declarations
+        field_type = decl.fields[0].ty.ty
+        assert isinstance(field_type, StackType)
+        assert field_type.size == 4
+
+    def test_global_constant(self):
+        program = parse_program("const bit<8> THRESHOLD = 3;")
+        (decl,) = program.declarations
+        assert isinstance(decl, VarDecl)
+        assert decl.init is not None
+
+
+class TestControls:
+    SOURCE = """
+    header h_t { <bit<8>, high> x; <bit<8>, low> y; }
+    struct headers { h_t h; }
+
+    @pc(A)
+    control Main(inout headers hdr, in bit<8> port) {
+        bit<8> counter = 0;
+        action set_x(<bit<8>, high> v) { hdr.h.x = v; }
+        action nop() { }
+        table t {
+            key = { hdr.h.y: exact; hdr.h.x: lpm; }
+            actions = { set_x(1); nop; }
+        }
+        apply {
+            if (hdr.h.y == 0) {
+                t.apply();
+            } else {
+                nop();
+            }
+            exit;
+        }
+    }
+    """
+
+    def test_control_structure(self):
+        program = parse_program(self.SOURCE)
+        assert len(program.controls) == 1
+        control = program.controls[0]
+        assert isinstance(control, ControlDecl)
+        assert control.name == "Main"
+        assert control.pc_label == "A"
+        assert [p.name for p in control.params] == ["hdr", "port"]
+        assert control.params[0].direction is Direction.INOUT
+        assert control.params[1].direction is Direction.IN
+
+    def test_control_locals(self):
+        control = parse_program(self.SOURCE).controls[0]
+        kinds = [type(decl).__name__ for decl in control.local_declarations]
+        assert kinds == ["VarDecl", "FunctionDecl", "FunctionDecl", "TableDecl"]
+
+    def test_table_contents(self):
+        control = parse_program(self.SOURCE).controls[0]
+        table = control.local_declarations[-1]
+        assert isinstance(table, TableDecl)
+        assert [k.match_kind for k in table.keys] == ["exact", "lpm"]
+        assert [a.name for a in table.actions] == ["set_x", "nop"]
+        assert len(table.actions[0].arguments) == 1
+
+    def test_apply_block(self):
+        control = parse_program(self.SOURCE).controls[0]
+        statements = control.apply_block.statements
+        assert isinstance(statements[0], If)
+        assert isinstance(statements[1], Exit)
+        then_stmt = statements[0].then_branch.statements[0]
+        assert isinstance(then_stmt, CallStmt)
+
+    def test_action_params(self):
+        control = parse_program(self.SOURCE).controls[0]
+        action = control.local_declarations[1]
+        assert isinstance(action, FunctionDecl)
+        assert action.is_action
+        assert action.params[0].ty.label == "high"
+
+    def test_pc_annotation_only_on_controls(self):
+        with pytest.raises(ParserError):
+            parse_program("@pc(A) header h_t { bit<8> x; }")
+
+    def test_unknown_annotation(self):
+        with pytest.raises(ParserError):
+            parse_program("@speed(9) control C() { apply { } }")
+
+    def test_main_control_helper(self):
+        program = parse_program(self.SOURCE)
+        assert program.main_control().name == "Main"
+        assert program.control_named("Main") is not None
+        assert program.control_named("Other") is None
+
+
+class TestStatements:
+    def wrap(self, body: str):
+        source = (
+            "header h_t { bit<8> x; } struct headers { h_t h; }\n"
+            "control C(inout headers hdr) { apply { " + body + " } }"
+        )
+        return parse_program(source).controls[0].apply_block.statements
+
+    def test_assignment(self):
+        (stmt,) = self.wrap("hdr.h.x = 3;")
+        assert isinstance(stmt, Assign)
+
+    def test_nested_blocks(self):
+        (stmt,) = self.wrap("{ hdr.h.x = 1; hdr.h.x = 2; }")
+        assert isinstance(stmt, Block)
+        assert len(stmt.statements) == 2
+
+    def test_if_without_else(self):
+        (stmt,) = self.wrap("if (hdr.h.x == 1) { hdr.h.x = 2; }")
+        assert isinstance(stmt, If)
+        assert stmt.else_branch.is_empty()
+
+    def test_else_if_chain(self):
+        (stmt,) = self.wrap(
+            "if (hdr.h.x == 1) { hdr.h.x = 2; } else if (hdr.h.x == 2) { hdr.h.x = 3; }"
+        )
+        assert isinstance(stmt.else_branch.statements[0], If)
+
+    def test_return_with_value(self):
+        (stmt,) = self.wrap("return hdr.h.x;")
+        assert isinstance(stmt, Return)
+        assert stmt.value is not None
+
+    def test_bare_return(self):
+        (stmt,) = self.wrap("return;")
+        assert isinstance(stmt, Return)
+        assert stmt.value is None
+
+    def test_local_variable_declaration(self):
+        (stmt,) = self.wrap("bit<8> tmp = hdr.h.x;")
+        assert isinstance(stmt, VarDeclStmt)
+        assert stmt.declaration.name == "tmp"
+
+    def test_annotated_local_declaration(self):
+        (stmt,) = self.wrap("<bit<8>, high> tmp;")
+        assert isinstance(stmt, VarDeclStmt)
+        assert stmt.declaration.ty.label == "high"
+
+    def test_named_type_local_declaration(self):
+        (stmt,) = self.wrap("h_t copy;")
+        assert isinstance(stmt, VarDeclStmt)
+        assert isinstance(stmt.declaration.ty.ty, TypeName)
+
+    def test_expression_statement_must_be_call(self):
+        with pytest.raises(ParserError):
+            self.wrap("hdr.h.x + 1;")
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParserError):
+            self.wrap("hdr.h.x = 1")
+
+
+class TestParserErrors:
+    def test_unclosed_control(self):
+        with pytest.raises(ParserError):
+            parse_program("control C(inout headers hdr) { apply { }")
+
+    def test_bad_table_body(self):
+        with pytest.raises(ParserError):
+            parse_program(
+                "control C() { table t { rows = { } } apply { } }"
+            )
+
+    def test_bad_top_level_token(self):
+        with pytest.raises(ParserError):
+            parse_program("== control")
+
+    def test_error_carries_location(self):
+        try:
+            parse_program("header h_t { bit<8> }")
+        except ParserError as exc:
+            assert exc.span.start.line == 1
+        else:  # pragma: no cover
+            pytest.fail("expected a parse error")

@@ -1,0 +1,108 @@
+"""Pretty-printer tests: printing a parsed program must re-parse to an
+equivalent program (same structure, same diagnostics)."""
+
+import pytest
+
+from repro.casestudies import all_case_studies
+from repro.frontend.parser import parse_program
+from repro.syntax.printer import pretty_print
+from repro.syntax.visitor import walk
+from repro.syntax import expressions as e
+from repro.syntax import statements as s
+from repro.syntax import declarations as d
+from repro.tool.pipeline import check_source
+
+
+def shape(program):
+    """A structural fingerprint of a program: node class names in pre-order,
+    ignoring spans and literal widths (which the printer preserves anyway)."""
+    names = []
+    for node in walk(program):
+        label = type(node).__name__
+        if isinstance(node, e.Var):
+            label += f":{node.name}"
+        elif isinstance(node, e.IntLiteral):
+            label += f":{node.value}"
+        elif isinstance(node, e.FieldAccess):
+            label += f":{node.field_name}"
+        elif isinstance(node, e.BinaryOp):
+            label += f":{node.op}"
+        elif isinstance(node, (d.FunctionDecl, d.TableDecl, d.VarDecl, d.ControlDecl)):
+            label += f":{node.name}"
+        names.append(label)
+    return names
+
+
+@pytest.mark.parametrize(
+    "case_name",
+    ["d2r", "app", "lattice", "topology", "cache", "netchain"],
+)
+@pytest.mark.parametrize("variant", ["secure", "insecure"])
+def test_case_study_roundtrip(case_name, variant):
+    from repro.casestudies import get_case_study
+
+    case = get_case_study(case_name)
+    source = case.secure_source if variant == "secure" else case.insecure_source
+    original = parse_program(source)
+    printed = pretty_print(original)
+    reparsed = parse_program(printed)
+    assert shape(original) == shape(reparsed)
+
+
+@pytest.mark.parametrize("case_name", ["topology", "cache", "lattice"])
+def test_roundtrip_preserves_diagnostics(case_name):
+    """Printing must not change what the checkers accept or reject."""
+    from repro.casestudies import get_case_study
+
+    case = get_case_study(case_name)
+    for source in (case.secure_source, case.insecure_source):
+        direct = check_source(source, case.lattice_name)
+        printed = pretty_print(parse_program(source))
+        reprinted = check_source(printed, case.lattice_name)
+        assert direct.ok == reprinted.ok
+        assert len(direct.ifc_diagnostics) == len(reprinted.ifc_diagnostics)
+        assert sorted(diag.kind.value for diag in direct.ifc_diagnostics) == sorted(
+            diag.kind.value for diag in reprinted.ifc_diagnostics
+        )
+
+
+def test_roundtrip_all_case_studies_parse():
+    for case in all_case_studies():
+        printed = pretty_print(parse_program(case.secure_source))
+        assert parse_program(printed).controls
+
+
+def test_expression_printing():
+    program = parse_program(
+        "header h_t { bit<8> a; } struct headers { h_t h; }\n"
+        "control C(inout headers hdr) { apply { hdr.h.a = (hdr.h.a + 3) * 2; } }"
+    )
+    text = pretty_print(program)
+    assert "hdr.h.a = ((hdr.h.a + 3) * 2);" in text
+
+
+def test_annotation_printing():
+    program = parse_program("header h_t { <bit<8>, high> secret; }")
+    text = pretty_print(program)
+    assert "<bit<8>, high> secret;" in text
+
+
+def test_pc_annotation_printing():
+    program = parse_program(
+        "header h_t { <bit<8>, A> x; } struct headers { h_t h; }\n"
+        "@pc(A) control C(inout headers hdr) { apply { } }"
+    )
+    text = pretty_print(program)
+    assert "@pc(A)" in text
+
+
+def test_table_apply_printing():
+    program = parse_program(
+        "header h_t { bit<8> a; } struct headers { h_t h; }\n"
+        "control C(inout headers hdr) {\n"
+        "  action nop() { }\n"
+        "  table t { key = { hdr.h.a: exact; } actions = { nop; } }\n"
+        "  apply { t.apply(); } }"
+    )
+    text = pretty_print(program)
+    assert "t.apply();" in text

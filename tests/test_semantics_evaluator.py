@@ -1,0 +1,277 @@
+"""Integration tests for the big-step interpreter: whole control blocks,
+copy-in/copy-out calls, table application, l-value writing, signals."""
+
+import pytest
+
+from repro.frontend.parser import parse_program
+from repro.semantics import (
+    ControlPlane,
+    EvaluationError,
+    SignalKind,
+    run_control,
+)
+from repro.semantics.control_plane import ExactMatch, TableEntry, Wildcard
+from repro.semantics.values import HeaderValue, IntValue, RecordValue
+
+PRELUDE = """
+header h_t { bit<8> a; bit<8> b; bit<32> big; bool flag; }
+struct headers { h_t h; }
+"""
+
+
+def run(body: str, locals_: str = "", inputs=None, control_plane=None):
+    source = (
+        PRELUDE
+        + "control C(inout headers hdr) {\n"
+        + locals_
+        + "\n apply {\n"
+        + body
+        + "\n } }"
+    )
+    return run_control(
+        parse_program(source), inputs or {}, control_plane=control_plane
+    )
+
+
+def header_struct(a=0, b=0, big=0, flag=False):
+    return RecordValue(
+        (
+            (
+                "h",
+                HeaderValue(
+                    (
+                        ("a", IntValue(a, 8)),
+                        ("b", IntValue(b, 8)),
+                        ("big", IntValue(big, 32)),
+                        ("flag", __import__("repro.semantics.values", fromlist=["BoolValue"]).BoolValue(flag)),
+                    )
+                ),
+            ),
+        )
+    )
+
+
+def field(run_result, name):
+    return run_result.parameters["hdr"].get("h").get(name)
+
+
+class TestBasicExecution:
+    def test_default_initialised_parameters(self):
+        result = run("hdr.h.a = hdr.h.a + 1;")
+        assert field(result, "a").value == 1
+
+    def test_inputs_are_used(self):
+        result = run("hdr.h.a = hdr.h.b;", inputs={"hdr": header_struct(b=9)})
+        assert field(result, "a").value == 9
+
+    def test_assignment_through_nested_lvalue(self):
+        result = run("hdr.h.big = 70000;")
+        assert field(result, "big").value == 70000
+
+    def test_if_then_else(self):
+        result = run(
+            "if (hdr.h.a == 5) { hdr.h.b = 1; } else { hdr.h.b = 2; }",
+            inputs={"hdr": header_struct(a=5)},
+        )
+        assert field(result, "b").value == 1
+
+    def test_local_variable(self):
+        result = run("bit<8> t = hdr.h.a + 3; hdr.h.b = t;", inputs={"hdr": header_struct(a=4)})
+        assert field(result, "b").value == 7
+
+    def test_exit_stops_execution(self):
+        result = run("hdr.h.a = 1; exit; hdr.h.a = 2;")
+        assert field(result, "a").value == 1
+        assert result.signal.kind is SignalKind.EXIT
+
+    def test_cont_signal_on_normal_completion(self):
+        assert run("hdr.h.a = 1;").signal.kind is SignalKind.CONT
+
+    def test_arithmetic_wraps_at_width(self):
+        result = run("hdr.h.a = hdr.h.a + 200;", inputs={"hdr": header_struct(a=100)})
+        assert field(result, "a").value == (300 % 256)
+
+
+class TestCalls:
+    def test_action_writes_through_closure(self):
+        locals_ = "  action bump() { hdr.h.a = hdr.h.a + 1; }"
+        result = run("bump(); bump();", locals_)
+        assert field(result, "a").value == 2
+
+    def test_in_parameter_is_copied(self):
+        locals_ = """
+  action set_b(in bit<8> v) { hdr.h.b = v; }
+"""
+        result = run("set_b(hdr.h.a + 1);", locals_, inputs={"hdr": header_struct(a=3)})
+        assert field(result, "b").value == 4
+
+    def test_inout_parameter_copies_back(self):
+        locals_ = "  action bump(inout bit<8> v) { v = v + 1; }"
+        result = run("bump(hdr.h.a);", locals_, inputs={"hdr": header_struct(a=10)})
+        assert field(result, "a").value == 11
+
+    def test_in_parameter_does_not_copy_back(self):
+        locals_ = "  action try_write(in bit<8> v) { v = v + 1; }"
+        result = run("try_write(hdr.h.a);", locals_, inputs={"hdr": header_struct(a=10)})
+        assert field(result, "a").value == 10
+
+    def test_function_return_value(self):
+        locals_ = "  function bit<8> double(in bit<8> v) { return v + v; }"
+        result = run("hdr.h.b = double(hdr.h.a);", locals_, inputs={"hdr": header_struct(a=6)})
+        assert field(result, "b").value == 12
+
+    def test_return_stops_action_body(self):
+        locals_ = """
+  action f() {
+      hdr.h.a = 1;
+      return;
+      hdr.h.a = 2;
+  }
+"""
+        result = run("f();", locals_)
+        assert field(result, "a").value == 1
+
+    def test_exit_propagates_out_of_action(self):
+        locals_ = "  action f() { exit; }"
+        result = run("f(); hdr.h.a = 5;", locals_)
+        assert field(result, "a").value == 0
+        assert result.signal.kind is SignalKind.EXIT
+
+    def test_nested_calls(self):
+        locals_ = """
+  action inner(inout bit<8> v) { v = v + 1; }
+  action outer() { inner(hdr.h.a); inner(hdr.h.a); }
+"""
+        result = run("outer();", locals_)
+        assert field(result, "a").value == 2
+
+    def test_unsupplied_directionless_param_defaults(self):
+        locals_ = "  action set_b(bit<8> v) { hdr.h.b = v; }"
+        result = run("set_b();", locals_, inputs={"hdr": header_struct(b=9)})
+        assert field(result, "b").value == 0
+
+
+class TestTables:
+    LOCALS = """
+  action set_b(bit<8> v) { hdr.h.b = v; }
+  action nop() { }
+  table t {
+      key = { hdr.h.a: exact; }
+      actions = { set_b; nop; }
+  }
+"""
+
+    def plane(self):
+        plane = ControlPlane()
+        plane.add_exact_entry("t", [1], "set_b", {"v": IntValue(11, 8)})
+        plane.add_exact_entry("t", [2], "set_b", {"v": IntValue(22, 8)})
+        plane.set_default_action("t", "nop")
+        return plane
+
+    def test_match_invokes_action_with_control_args(self):
+        result = run(
+            "t.apply();", self.LOCALS, inputs={"hdr": header_struct(a=2)},
+            control_plane=self.plane(),
+        )
+        assert field(result, "b").value == 22
+
+    def test_miss_runs_default_action(self):
+        result = run(
+            "t.apply();", self.LOCALS, inputs={"hdr": header_struct(a=9, b=5)},
+            control_plane=self.plane(),
+        )
+        assert field(result, "b").value == 5
+
+    def test_miss_without_default_is_noop(self):
+        result = run(
+            "t.apply();", self.LOCALS, inputs={"hdr": header_struct(a=9, b=5)},
+            control_plane=ControlPlane(),
+        )
+        assert field(result, "b").value == 5
+
+    def test_declaration_time_arguments(self):
+        locals_ = """
+  bit<8> source = hdr.h.a;
+  action copy(in bit<8> v) { hdr.h.b = v; }
+  table t { key = { hdr.h.a: exact; } actions = { copy(source); } }
+"""
+        plane = ControlPlane()
+        plane.add_entry("t", TableEntry((Wildcard(),), "copy"))
+        result = run("t.apply();", locals_, inputs={"hdr": header_struct(a=7)}, control_plane=plane)
+        assert field(result, "b").value == 7
+
+    def test_control_plane_with_unknown_action_rejected(self):
+        plane = ControlPlane()
+        plane.add_entry("t", TableEntry((ExactMatch(0),), "ghost"))
+        with pytest.raises(EvaluationError):
+            run("t.apply();", self.LOCALS, control_plane=plane)
+
+
+class TestErrors:
+    def test_unknown_variable(self):
+        with pytest.raises(EvaluationError):
+            run("ghost = 1;")
+
+    def test_calling_a_non_function(self):
+        with pytest.raises(EvaluationError):
+            run("hdr.h.a(); ")
+
+    def test_bad_condition_type(self):
+        with pytest.raises(EvaluationError):
+            run("if (hdr.h.a) { hdr.h.b = 1; }")
+
+    def test_unknown_control_name(self):
+        program = parse_program(PRELUDE + "control C(inout headers hdr) { apply { } }")
+        with pytest.raises(EvaluationError):
+            run_control(program, control_name="Ghost")
+
+
+class TestMultiControlPrograms:
+    SOURCE = """
+    header h_t { bit<8> x; }
+    struct headers { h_t h; }
+    control A(inout headers hdr) { apply { hdr.h.x = 1; } }
+    control B(inout headers hdr) { apply { hdr.h.x = 2; } }
+    """
+
+    def test_run_named_control(self):
+        program = parse_program(self.SOURCE)
+        run_a = run_control(program, control_name="A")
+        run_b = run_control(program, control_name="B")
+        assert run_a.parameters["hdr"].get("h").get("x").value == 1
+        assert run_b.parameters["hdr"].get("h").get("x").value == 2
+
+    def test_main_control_requires_uniqueness(self):
+        program = parse_program(self.SOURCE)
+        with pytest.raises(ValueError):
+            program.main_control()
+
+
+class TestCaseStudyExecution:
+    def test_topology_secure_runs(self):
+        from repro.casestudies import get_case_study
+
+        case = get_case_study("topology")
+        program = parse_program(case.secure_source)
+        result = run_control(program, control_plane=case.control_plane())
+        assert result.signal.kind is SignalKind.CONT
+
+    def test_d2r_runs_both_variants(self):
+        from repro.casestudies import get_case_study
+
+        case = get_case_study("d2r")
+        for source in (case.secure_source, case.insecure_source):
+            program = parse_program(source)
+            result = run_control(program, control_plane=case.control_plane())
+            assert result.signal.kind is SignalKind.CONT
+
+    def test_isolation_runs_each_control(self):
+        from repro.casestudies import get_case_study
+
+        case = get_case_study("lattice")
+        program = parse_program(case.secure_source)
+        for control_name in case.control_names:
+            result = run_control(
+                program, control_name=control_name, control_plane=case.control_plane()
+            )
+            assert result.signal.kind is SignalKind.CONT

@@ -1,0 +1,126 @@
+"""Unit tests for l-value evaluation, reading, and writing (App. F/G)."""
+
+import pytest
+
+from repro.semantics.errors import EvaluationError
+from repro.semantics.lvalues import (
+    LField,
+    LIndex,
+    LVar,
+    lval_base,
+    read_lvalue,
+    write_lvalue,
+    zero_like,
+)
+from repro.semantics.store import Environment, Store
+from repro.semantics.values import (
+    BoolValue,
+    HeaderValue,
+    IntValue,
+    RecordValue,
+    StackValue,
+)
+
+
+def make_state():
+    store = Store()
+    env = Environment()
+    inner = HeaderValue((("a", IntValue(1, 8)), ("b", IntValue(2, 8))))
+    stack = StackValue((IntValue(10, 8), IntValue(20, 8), IntValue(30, 8)))
+    outer = RecordValue((("h", inner), ("lanes", stack)))
+    env.bind("hdr", store.fresh(outer))
+    env.bind("x", store.fresh(IntValue(7, 8)))
+    return store, env
+
+
+class TestBaseAndZero:
+    def test_lval_base(self):
+        path = LIndex(LField(LVar("hdr"), "lanes"), 1)
+        assert lval_base(path) == "hdr"
+        assert lval_base(LVar("x")) == "x"
+
+    def test_zero_like(self):
+        assert zero_like(IntValue(9, 8)) == IntValue(0, 8)
+        assert zero_like(BoolValue(True)) == BoolValue(False)
+        zeroed = zero_like(RecordValue((("a", IntValue(3, 8)),)))
+        assert zeroed.get("a").value == 0
+
+    def test_zero_like_preserves_shape(self):
+        stack = StackValue((IntValue(1, 8), IntValue(2, 8)))
+        assert len(zero_like(stack).elements) == 2
+
+
+class TestReading:
+    def test_read_variable(self):
+        store, env = make_state()
+        assert read_lvalue(LVar("x"), env, store).value == 7
+
+    def test_read_nested_field(self):
+        store, env = make_state()
+        path = LField(LField(LVar("hdr"), "h"), "b")
+        assert read_lvalue(path, env, store).value == 2
+
+    def test_read_stack_element(self):
+        store, env = make_state()
+        path = LIndex(LField(LVar("hdr"), "lanes"), 2)
+        assert read_lvalue(path, env, store).value == 30
+
+    def test_read_out_of_bounds_is_havoc_zero(self):
+        store, env = make_state()
+        path = LIndex(LField(LVar("hdr"), "lanes"), 99)
+        assert read_lvalue(path, env, store).value == 0
+
+    def test_read_missing_field(self):
+        store, env = make_state()
+        with pytest.raises(EvaluationError):
+            read_lvalue(LField(LVar("hdr"), "ghost"), env, store)
+
+    def test_read_field_of_scalar(self):
+        store, env = make_state()
+        with pytest.raises(EvaluationError):
+            read_lvalue(LField(LVar("x"), "a"), env, store)
+
+
+class TestWriting:
+    def test_write_variable(self):
+        store, env = make_state()
+        write_lvalue(LVar("x"), IntValue(99, 8), env, store)
+        assert read_lvalue(LVar("x"), env, store).value == 99
+
+    def test_write_nested_field(self):
+        store, env = make_state()
+        path = LField(LField(LVar("hdr"), "h"), "a")
+        write_lvalue(path, IntValue(42, 8), env, store)
+        assert read_lvalue(path, env, store).value == 42
+        # sibling untouched
+        sibling = LField(LField(LVar("hdr"), "h"), "b")
+        assert read_lvalue(sibling, env, store).value == 2
+
+    def test_write_stack_element(self):
+        store, env = make_state()
+        path = LIndex(LField(LVar("hdr"), "lanes"), 0)
+        write_lvalue(path, IntValue(77, 8), env, store)
+        assert read_lvalue(path, env, store).value == 77
+
+    def test_write_out_of_bounds_is_noop(self):
+        store, env = make_state()
+        path = LIndex(LField(LVar("hdr"), "lanes"), 99)
+        write_lvalue(path, IntValue(77, 8), env, store)
+        lanes = read_lvalue(LField(LVar("hdr"), "lanes"), env, store)
+        assert [e.value for e in lanes.elements] == [10, 20, 30]
+
+    def test_write_only_touches_base_variable(self):
+        store, env = make_state()
+        before_x = read_lvalue(LVar("x"), env, store)
+        write_lvalue(LField(LField(LVar("hdr"), "h"), "a"), IntValue(5, 8), env, store)
+        assert read_lvalue(LVar("x"), env, store) == before_x
+
+    def test_write_missing_field(self):
+        store, env = make_state()
+        with pytest.raises(EvaluationError):
+            write_lvalue(LField(LVar("hdr"), "ghost"), IntValue(1, 8), env, store)
+
+    def test_write_unknown_variable(self):
+        store, env = make_state()
+        with pytest.raises(EvaluationError):
+            write_lvalue(LVar("ghost"), IntValue(1, 8), env, store)

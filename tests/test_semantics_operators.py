@@ -1,0 +1,114 @@
+"""Unit and property tests for the value-level operator semantics."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.semantics.errors import EvaluationError
+from repro.semantics.operators import eval_binary, eval_unary
+from repro.semantics.values import BoolValue, IntValue
+
+
+class TestArithmetic:
+    def test_addition(self):
+        assert eval_binary("+", IntValue(3, 8), IntValue(4, 8)) == IntValue(7, 8)
+
+    def test_addition_wraps(self):
+        assert eval_binary("+", IntValue(255, 8), IntValue(1, 8)) == IntValue(0, 8)
+
+    def test_subtraction_wraps(self):
+        assert eval_binary("-", IntValue(0, 8), IntValue(1, 8)) == IntValue(255, 8)
+
+    def test_multiplication(self):
+        assert eval_binary("*", IntValue(20, 16), IntValue(10, 16)).value == 200
+
+    def test_division_by_zero_is_zero(self):
+        assert eval_binary("/", IntValue(9, 8), IntValue(0, 8)).value == 0
+        assert eval_binary("%", IntValue(9, 8), IntValue(0, 8)).value == 0
+
+    def test_width_propagates_from_either_side(self):
+        assert eval_binary("+", IntValue(1, 8), IntValue(1, None)).width == 8
+        assert eval_binary("+", IntValue(1, None), IntValue(1, 8)).width == 8
+
+    def test_bitwise(self):
+        assert eval_binary("&", IntValue(0b1100, 8), IntValue(0b1010, 8)).value == 0b1000
+        assert eval_binary("|", IntValue(0b1100, 8), IntValue(0b1010, 8)).value == 0b1110
+        assert eval_binary("^", IntValue(0b1100, 8), IntValue(0b1010, 8)).value == 0b0110
+
+    def test_shifts(self):
+        assert eval_binary("<<", IntValue(1, 8), IntValue(3, 8)).value == 8
+        assert eval_binary(">>", IntValue(8, 8), IntValue(2, 8)).value == 2
+
+
+class TestComparisonsAndBooleans:
+    def test_comparisons(self):
+        assert eval_binary("<", IntValue(1, 8), IntValue(2, 8)) == BoolValue(True)
+        assert eval_binary(">=", IntValue(2, 8), IntValue(2, 8)) == BoolValue(True)
+        assert eval_binary("==", IntValue(3, 8), IntValue(4, 8)) == BoolValue(False)
+        assert eval_binary("!=", IntValue(3, 8), IntValue(4, 8)) == BoolValue(True)
+
+    def test_bool_equality(self):
+        assert eval_binary("==", BoolValue(True), BoolValue(True)) == BoolValue(True)
+
+    def test_logical_connectives(self):
+        assert eval_binary("&&", BoolValue(True), BoolValue(False)) == BoolValue(False)
+        assert eval_binary("||", BoolValue(True), BoolValue(False)) == BoolValue(True)
+
+    def test_logical_on_numbers_rejected(self):
+        with pytest.raises(EvaluationError):
+            eval_binary("&&", IntValue(1, 8), IntValue(1, 8))
+
+    def test_unknown_operator(self):
+        with pytest.raises(EvaluationError):
+            eval_binary("**", IntValue(1, 8), IntValue(1, 8))
+
+
+class TestUnary:
+    def test_negation(self):
+        assert eval_unary("!", BoolValue(True)) == BoolValue(False)
+
+    def test_negation_needs_bool(self):
+        with pytest.raises(EvaluationError):
+            eval_unary("!", IntValue(1, 8))
+
+    def test_arithmetic_minus_wraps(self):
+        assert eval_unary("-", IntValue(1, 8)).value == 255
+
+    def test_bitwise_not(self):
+        assert eval_unary("~", IntValue(0, 8)).value == 255
+
+    def test_unknown(self):
+        with pytest.raises(EvaluationError):
+            eval_unary("?", IntValue(1, 8))
+
+
+bits8 = st.integers(min_value=0, max_value=255)
+
+
+class TestProperties:
+    @given(bits8, bits8)
+    @settings(max_examples=200)
+    def test_determinism(self, a, b):
+        """E(⊕, v1, v2) is a function: equal inputs give equal outputs."""
+        for op in ("+", "-", "*", "&", "|", "^", "==", "<"):
+            first = eval_binary(op, IntValue(a, 8), IntValue(b, 8))
+            second = eval_binary(op, IntValue(a, 8), IntValue(b, 8))
+            assert first == second
+
+    @given(bits8, bits8)
+    @settings(max_examples=200)
+    def test_results_stay_in_range(self, a, b):
+        for op in ("+", "-", "*", "&", "|", "^", "<<", ">>"):
+            result = eval_binary(op, IntValue(a, 8), IntValue(b, 8))
+            assert 0 <= result.value <= 255
+
+    @given(bits8, bits8)
+    @settings(max_examples=200)
+    def test_addition_commutes(self, a, b):
+        assert eval_binary("+", IntValue(a, 8), IntValue(b, 8)) == eval_binary(
+            "+", IntValue(b, 8), IntValue(a, 8)
+        )
+
+    @given(bits8)
+    @settings(max_examples=100)
+    def test_double_negation(self, a):
+        assert eval_unary("~", eval_unary("~", IntValue(a, 8))).value == a

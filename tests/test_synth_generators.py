@@ -1,0 +1,84 @@
+"""Tests for the synthetic program generators."""
+
+from repro.frontend.parser import parse_program
+from repro.ifc import check_ifc
+from repro.lattice import ChainLattice
+from repro.synth import (
+    chain_pipeline_program,
+    random_straightline_program,
+    wide_table_program,
+)
+from repro.syntax.visitor import walk
+from repro.typechecker import check_core_types
+
+
+class TestStraightline:
+    def test_deterministic_for_a_seed(self):
+        assert random_straightline_program(5) == random_straightline_program(5)
+
+    def test_distinct_across_seeds(self):
+        assert random_straightline_program(1) != random_straightline_program(2)
+
+    def test_always_parses_and_core_typechecks(self):
+        for seed in range(40):
+            program = parse_program(random_straightline_program(seed))
+            assert check_core_types(program).ok
+
+    def test_statement_count_scales_size(self):
+        small = random_straightline_program(0, statements=2)
+        large = random_straightline_program(0, statements=30)
+        assert len(large) > len(small)
+        small_nodes = sum(1 for _ in walk(parse_program(small)))
+        large_nodes = sum(1 for _ in walk(parse_program(large)))
+        assert large_nodes > small_nodes
+
+    def test_custom_levels(self):
+        source = random_straightline_program(3, levels=("low", "mid", "high"))
+        assert "f_mid" in source
+        lattice = ChainLattice(["low", "mid", "high"])
+        check_ifc(parse_program(source), lattice)
+
+
+class TestChainPipeline:
+    def test_accepted_for_matching_chain(self):
+        lattice = ChainLattice.of_height(4)
+        program = parse_program(chain_pipeline_program(lattice.levels))
+        assert check_ifc(program, lattice).ok
+
+    def test_rejected_when_levels_reversed(self):
+        lattice = ChainLattice.of_height(4)
+        program = parse_program(chain_pipeline_program(tuple(reversed(lattice.levels))))
+        assert not check_ifc(program, lattice).ok
+
+    def test_rounds_scale_size(self):
+        levels = ChainLattice.of_height(3).levels
+        assert len(chain_pipeline_program(levels, rounds=5)) > len(
+            chain_pipeline_program(levels, rounds=1)
+        )
+
+
+class TestWideTables:
+    def test_table_and_action_counts(self):
+        source = wide_table_program(tables=5, actions_per_table=3)
+        assert source.count("table tbl_") == 5
+        assert source.count("action act_") == 15
+
+    def test_secure_accepted_insecure_rejected(self):
+        assert check_ifc(parse_program(wide_table_program(secure=True))).ok
+        insecure = check_ifc(parse_program(wide_table_program(secure=False)))
+        assert not insecure.ok
+
+    def test_violation_count_matches_key_action_pairs(self):
+        result = check_ifc(
+            parse_program(
+                wide_table_program(tables=2, actions_per_table=3, keys_per_table=2, secure=False)
+            )
+        )
+        # every (key, action) pair of every table is reported once
+        assert len(result.diagnostics) == 2 * 3 * 2
+
+    def test_seed_changes_constants_only(self):
+        a = wide_table_program(seed=1)
+        b = wide_table_program(seed=2)
+        assert a != b
+        assert a.count("table") == b.count("table")
