@@ -8,6 +8,9 @@ Control in P4" (PLDI 2022).  It provides:
 * ``repro.frontend`` -- a lexer and parser for an annotated P4 dialect.
 * ``repro.typechecker`` -- the ordinary Core P4 type system.
 * ``repro.ifc`` -- the security (IFC) type system, the paper's contribution.
+* ``repro.inference`` -- constraint-based security-label inference for
+  partially annotated programs (missing / ``infer``-marked annotations are
+  solved to their least labels, then re-verified by ``repro.ifc``).
 * ``repro.semantics`` -- a big-step interpreter for the Core P4 fragment.
 * ``repro.ni`` -- an empirical non-interference harness (Definition 4.2).
 * ``repro.tool`` -- the P4BID command-line checker pipeline.
@@ -22,14 +25,24 @@ Quickstart::
     else:
         for diag in report.diagnostics:
             print(diag)
+
+Partially annotated programs are checked the same way with ``infer=True``
+(or ``p4bid --infer`` on the command line)::
+
+    report = check_source(program_text, infer=True)
+    for slot in report.inference_result.inferred:
+        print(slot.describe(report.inference_result.lattice))
 """
 
 from repro.version import __version__
+from repro.inference.engine import InferenceResult, infer_labels
 from repro.tool.pipeline import CheckReport, check_program, check_source
 
 __all__ = [
     "__version__",
     "CheckReport",
+    "InferenceResult",
     "check_program",
     "check_source",
+    "infer_labels",
 ]

@@ -26,6 +26,45 @@ def strip_security_annotations(source: str) -> str:
     return _PC_RE.sub("", stripped)
 
 
+def strip_body_annotations(source: str) -> str:
+    """Remove the security annotations inside the control blocks only.
+
+    Header/struct/typedef declarations (and any ``@pc`` annotations) keep
+    their labels -- wherever they appear, including between or after
+    control blocks -- so the security policy of the packet formats stays
+    declared while every local variable and action parameter loses its
+    annotation.  This is the *partially annotated* shape the
+    :mod:`repro.inference` subsystem targets: the labels that remain act as
+    the fixed sources/sinks of the constraint system, and inference
+    re-derives everything in between.
+    """
+    pieces = []
+    pos = 0
+    for match in re.finditer(r"(?m)^[ \t]*control\b", source):
+        start = match.start()
+        if start < pos:
+            continue
+        open_brace = source.find("{", match.end())
+        if open_brace < 0:
+            break
+        depth = 0
+        end = open_brace
+        while end < len(source):
+            if source[end] == "{":
+                depth += 1
+            elif source[end] == "}":
+                depth -= 1
+                if depth == 0:
+                    end += 1
+                    break
+            end += 1
+        pieces.append(source[pos:start])
+        pieces.append(_ANNOTATION_RE.sub(lambda m: m.group(1), source[start:end]))
+        pos = end
+    pieces.append(source[pos:])
+    return "".join(pieces)
+
+
 @dataclass
 class CaseStudy:
     """One case study: its programs, lattice, and execution harness."""

@@ -58,7 +58,9 @@ _MULTI_CHAR_OPERATORS = (
     "||",
 )
 
-_SINGLE_CHAR_TOKENS = frozenset("{}()[]<>,;:.=+-*/%&|^~!@")
+#: ``?`` only ever appears as the short spelling of an ``infer`` security
+#: annotation (``<bit<8>, ?>``); the parser rejects it anywhere else.
+_SINGLE_CHAR_TOKENS = frozenset("{}()[]<>,;:.=+-*/%&|^~!@?")
 
 
 class TokenKind(enum.Enum):

@@ -56,7 +56,13 @@ from repro.syntax import statements as s
 from repro.syntax.declarations import Direction
 from repro.syntax.program import Program
 from repro.syntax.source import SourceSpan
-from repro.syntax.types import AnnotatedType, HeaderType, RecordType
+from repro.syntax.types import (
+    AnnotatedType,
+    HeaderType,
+    RecordType,
+    inference_marker_guidance,
+    is_inference_marker,
+)
 from repro.typechecker.checker import DEFAULT_MATCH_KINDS
 
 #: Expression directionality, as in the ordinary system.
@@ -191,12 +197,16 @@ class IfcChecker:
         try:
             return self._lattice.parse_label(control.pc_label)
         except Exception:
-            self._emit(
-                ViolationKind.LABEL_ERROR,
-                f"unknown pc label {control.pc_label!r} on control {control.name!r}",
-                control.span,
-                rule="@pc",
-            )
+            if is_inference_marker(control.pc_label):
+                message = inference_marker_guidance(
+                    control.pc_label, construct="@pc annotation"
+                )
+            else:
+                message = (
+                    f"unknown pc label {control.pc_label!r} on control "
+                    f"{control.name!r}"
+                )
+            self._emit(ViolationKind.LABEL_ERROR, message, control.span, rule="@pc")
             return self._lattice.bottom
 
     def _install_default_match_kinds(self, gamma: SecurityContext) -> None:

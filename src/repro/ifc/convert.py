@@ -12,6 +12,13 @@ lattice and type-definition context:
 * a label written on a composite *use* site (``<alice_t, A> x``) is joined
   into every field, so the outer label of a composite stays ⊥ as in
   Figure 4.
+
+Label resolution is routed through the overridable hooks
+:meth:`TypeLabeler.resolve_label` and :meth:`TypeLabeler.attach_label` so
+the :mod:`repro.inference` subsystem can subclass the labeler and produce
+*label variables* (terms to be solved) instead of raising
+:class:`LabelResolutionError` where an annotation is missing or explicitly
+marked ``infer``.
 """
 
 from __future__ import annotations
@@ -45,6 +52,8 @@ from repro.syntax.types import (
     Type,
     TypeName,
     UnitType,
+    inference_marker_guidance,
+    is_inference_marker,
 )
 
 
@@ -70,20 +79,37 @@ class TypeLabeler:
     # ------------------------------------------------------------------ labels
 
     def resolve_label(self, text: Optional[str]) -> Label:
-        """Resolve an annotation's raw text; ``None`` defaults to ⊥."""
+        """Resolve an annotation's raw text; ``None`` defaults to ⊥.
+
+        A spelling that names an actual lattice level always means that
+        level -- a lattice is free to define a level called ``Infer``.
+        Otherwise ``infer`` / ``?`` markers are rejected here: only the
+        inference labeler (which overrides this hook) can give them a
+        meaning.
+        """
         if text is None:
             return self._lattice.bottom
         try:
             return self._lattice.parse_label(text)
         except LatticeError as exc:
+            if is_inference_marker(text):
+                raise LabelResolutionError(inference_marker_guidance(text)) from exc
             raise LabelResolutionError(str(exc)) from exc
 
     # ------------------------------------------------------------------ types
 
     def security_type(self, annotated: AnnotatedType, *, seen: frozenset = frozenset()) -> SecurityType:
         """The security type denoted by ``annotated`` under Δ and the lattice."""
-        label = self.resolve_label(annotated.label)
         base = self._body_of(annotated.ty, seen)
+        return self.attach_label(annotated, base)
+
+    def attach_label(self, annotated: AnnotatedType, base: SecurityType) -> SecurityType:
+        """Combine the resolved ``base`` type with the slot's annotation.
+
+        Overridden by the inference labeler, which introduces a label
+        variable here when the annotation is missing or marked ``infer``.
+        """
+        label = self.resolve_label(annotated.label)
         if isinstance(base.body, (SRecord, SHeader, SStack)):
             if annotated.label is not None:
                 return join_into(self._lattice, base, label)

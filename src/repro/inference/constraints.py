@@ -1,0 +1,67 @@
+"""The constraint IR: ``lhs ⊑ rhs`` over label terms, with provenance.
+
+Each :class:`Constraint` records which Figure 5–7 side condition produced
+it (``rule``), how a violation of it should be classified (``kind``), the
+source span of the construct that imposed it, and a human readable
+``reason`` phrased like the checker's diagnostics.  The solver reports
+conflicts by pointing back at these, so an unsatisfiable inference problem
+reads exactly like an IFC violation report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterator, List
+
+from repro.ifc.errors import ViolationKind
+from repro.inference.terms import LabelVar, Term, free_vars
+from repro.syntax.source import SourceSpan
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """One flow constraint ``lhs ⊑ rhs`` with its provenance."""
+
+    lhs: Term
+    rhs: Term
+    span: SourceSpan = field(default_factory=SourceSpan.unknown)
+    rule: str = ""
+    kind: ViolationKind = ViolationKind.EXPLICIT_FLOW
+    reason: str = ""
+
+    def describe(self) -> str:
+        return f"{self.lhs.describe()} ⊑ {self.rhs.describe()}"
+
+    def variables(self) -> FrozenSet[LabelVar]:
+        return free_vars(self.lhs) | free_vars(self.rhs)
+
+    def __str__(self) -> str:
+        rule = f" [{self.rule}]" if self.rule else ""
+        return f"{self.span}: {self.describe()}{rule}"
+
+
+class ConstraintSet:
+    """An ordered, duplicate-free accumulator of constraints."""
+
+    def __init__(self) -> None:
+        self._constraints: List[Constraint] = []
+        self._seen: set = set()
+
+    def add(self, constraint: Constraint) -> None:
+        # Trivial constraints (identical sides) carry no information.
+        if constraint.lhs == constraint.rhs:
+            return
+        key = (constraint.lhs, constraint.rhs, constraint.span, constraint.rule)
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        self._constraints.append(constraint)
+
+    def __iter__(self) -> Iterator[Constraint]:
+        return iter(self._constraints)
+
+    def __len__(self) -> int:
+        return len(self._constraints)
+
+    def as_list(self) -> List[Constraint]:
+        return list(self._constraints)

@@ -1,0 +1,177 @@
+"""The inference pipeline: generate → solve → elaborate.
+
+:func:`infer_labels` is the public entry point.  It produces an
+:class:`InferenceResult` carrying the solved per-slot assignment (for
+reporting), the conflicts mapped back to source spans as
+:class:`~repro.ifc.errors.IfcDiagnostic` values, and -- when the system is
+satisfiable -- a fully annotated program ready for independent
+re-verification by the stock checker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.ifc.errors import IfcDiagnostic
+from repro.inference.constraints import Constraint
+from repro.inference.elaborate import elaborate_program
+from repro.inference.generate import GenerationResult, generate_constraints
+from repro.inference.solve import Solution, solve
+from repro.inference.terms import ConstTerm, VarTerm, evaluate, free_vars
+from repro.lattice.base import Label, Lattice
+from repro.lattice.two_point import TwoPointLattice
+from repro.syntax.program import Program
+from repro.syntax.source import SourceSpan
+
+
+@dataclass(frozen=True)
+class InferredLabel:
+    """One solved annotation slot, for reports and the CLI."""
+
+    hint: str
+    span: SourceSpan
+    label: Label
+
+    def describe(self, lattice: Lattice) -> str:
+        location = "" if self.span.is_unknown() else f" ({self.span})"
+        return f"{self.hint}: {lattice.format_label(self.label)}{location}"
+
+
+@dataclass
+class InferenceResult:
+    """Outcome of constraint-based label inference over one program."""
+
+    program: Program
+    lattice: Lattice
+    generation: GenerationResult
+    solution: Solution
+    #: Solved labels, one per annotation slot that received a variable,
+    #: in slot-discovery order.
+    inferred: List[InferredLabel] = field(default_factory=list)
+    #: Label errors from generation plus conflicts from solving.
+    diagnostics: List[IfcDiagnostic] = field(default_factory=list)
+    #: The fully annotated program (best effort when there are conflicts).
+    elaborated: Optional[Program] = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.diagnostics
+
+    @property
+    def constraint_count(self) -> int:
+        return len(self.generation.constraints)
+
+    @property
+    def variable_count(self) -> int:
+        return len(self.inferred) + len(self.generation.control_pc_vars)
+
+    def assignment_by_hint(self) -> Dict[str, Label]:
+        """The solved assignment keyed by slot description (for tests/JSON)."""
+        return {site.hint: site.label for site in self.inferred}
+
+
+def _maximise_control_pcs(
+    lattice: Lattice, generation: GenerationResult, solution: Solution
+) -> Solution:
+    """Re-solve with each ``@pc(infer)`` variable pushed as high as it goes.
+
+    A control's pc only ever appears on constraint *left* sides (it lower
+    bounds the writes the body performs), so the least solution would
+    trivially report ⊥ for every program.  The informative answer is the
+    *greatest* admissible pc -- admissible against the least labels of
+    everything else: every non-pc slot is frozen at its least-solution
+    value, so a raised pc never drags unconstrained slots upward (that
+    would break ``infer_labels``' least-label contract).  With the slots
+    frozen the answer is direct: a pc variable occurs only on constraint
+    left sides, so its greatest admissible value is the meet of the
+    right-hand sides of the constraints that mention it, evaluated under
+    the least solution (⊤ when unconstrained).  One re-solve with the pc
+    variables pinned there produces the reported solution; it cannot
+    conflict by construction, but if it somehow does the least solution is
+    returned unchanged.
+    """
+    candidates = {}
+    for var in {var for _control, var in generation.control_pc_vars}:
+        bounds = [
+            evaluate(constraint.rhs, lattice, solution.assignment)
+            for constraint in generation.constraints
+            if var in free_vars(constraint.lhs)
+        ]
+        candidates[var] = lattice.meet_all(bounds)
+    if all(lattice.equal(label, lattice.bottom) for label in candidates.values()):
+        return solution
+    freezes = [
+        Constraint(
+            VarTerm(site.var),
+            ConstTerm(solution.value_of(site.var)),
+            site.span,
+            rule="@pc",
+            reason=f"{site.hint} is frozen at its least label",
+        )
+        for site in generation.sites
+    ]
+    pins = [
+        Constraint(
+            ConstTerm(label),
+            VarTerm(var),
+            var.span,
+            rule="@pc",
+            reason=f"greatest admissible {var.hint}",
+        )
+        for var, label in candidates.items()
+    ]
+    boosted = solve(lattice, generation.constraints + freezes + pins)
+    return boosted if boosted.ok else solution
+
+
+def infer_labels(
+    program: Program,
+    lattice: Optional[Lattice] = None,
+    *,
+    allow_declassification: bool = False,
+) -> InferenceResult:
+    """Infer a least label assignment for ``program`` under ``lattice``.
+
+    The returned assignment is point-wise smallest among all assignments
+    satisfying the Figure 5–7 side conditions (missing annotations default
+    as low as the flows permit).  The one exception is ``@pc(infer)``
+    control annotations, which are solved to the *greatest* pc admissible
+    against that least assignment (the least pc would always be the
+    uninformative ⊥).  When no assignment exists, the conflicts
+    are reported as diagnostics whose spans and unsatisfiable cores point at
+    the source constructs that clash.
+    """
+    resolved = lattice or TwoPointLattice()
+    generation = generate_constraints(
+        program, resolved, allow_declassification=allow_declassification
+    )
+    solution = solve(resolved, generation.constraints)
+    if solution.ok and generation.control_pc_vars:
+        solution = _maximise_control_pcs(resolved, generation, solution)
+    inferred = [
+        InferredLabel(
+            site.hint,
+            site.span,
+            # Augmentation slots sit on top of a declared floor: report the
+            # effective label, not the bare variable's (often ⊥) value.
+            solution.value_of(site.var)
+            if site.floor is None
+            else resolved.join(solution.value_of(site.var), site.floor),
+        )
+        for site in generation.sites
+    ]
+    diagnostics = list(generation.errors)
+    diagnostics.extend(
+        conflict.as_diagnostic(resolved) for conflict in solution.conflicts
+    )
+    elaborated = elaborate_program(generation, solution)
+    return InferenceResult(
+        program,
+        resolved,
+        generation,
+        solution,
+        inferred,
+        diagnostics,
+        elaborated,
+    )

@@ -1,0 +1,273 @@
+"""Least-fixpoint constraint solving over a finite security lattice.
+
+The solver normalises every constraint ``lhs ⊑ rhs``:
+
+* a :class:`~repro.inference.terms.MeetTerm` on the right decomposes
+  exactly (``a ⊑ b ⊓ c`` iff ``a ⊑ b`` and ``a ⊑ c``), which is how the
+  inferred write bounds ``pc_fn`` / ``pc_tbl`` are handled;
+* a variable on the right becomes a *propagation edge*: the variable must
+  sit above the (monotone) value of the left term;
+* a join on the right that contains a variable (``lhs ⊑ v ⊔ c``) has no
+  canonical least solution; it is over-approximated soundly by propagating
+  the whole left side into the variable;
+* anything else -- a constant or a term with no variables to raise -- is a
+  *check*, verified after the fixpoint.
+
+Kleene iteration from ``⊥`` then pushes joins along the propagation edges
+until nothing changes.  Because every left-hand term evaluates monotonically
+in the assignment and the lattice is finite, the iteration terminates, and
+the result is the *least* assignment satisfying all propagation
+constraints -- the classic argument for inequality constraints over a
+join-semilattice (cf. the template-domain lifting of Mukherjee et al.).
+The checks are exactly the upper bounds; the constraint system is
+satisfiable iff the least solution passes them, so every failed check is a
+genuine conflict.  For each conflict an *unsatisfiable core* is extracted
+by slicing backwards through the propagation edges that raised the
+offending variables, giving the chain of source spans from the annotated
+secret to the too-low sink.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.ifc.errors import IfcDiagnostic
+from repro.inference.constraints import Constraint
+from repro.inference.terms import (
+    ConstTerm,
+    JoinTerm,
+    LabelVar,
+    MeetTerm,
+    Term,
+    VarTerm,
+    evaluate,
+    free_vars,
+)
+from repro.lattice.base import Label, Lattice
+
+
+class InferenceError(Exception):
+    """The constraint system is malformed (not a user-facing conflict)."""
+
+
+@dataclass(frozen=True)
+class InferenceConflict:
+    """A check constraint the least solution violates."""
+
+    constraint: Constraint
+    observed: Label
+    required: Label
+    #: Propagation constraints that forced ``observed`` above ``required``,
+    #: ordered from the conflicting check back towards the original sources.
+    core: Tuple[Constraint, ...] = ()
+
+    def as_diagnostic(self, lattice: Lattice) -> IfcDiagnostic:
+        message = (
+            f"{self.constraint.reason or 'label constraint violated'}: inferred "
+            f"label {lattice.format_label(self.observed)} may not flow below "
+            f"{lattice.format_label(self.required)}"
+        )
+        origins = [
+            str(c.span) for c in self.core if not c.span.is_unknown()
+        ]
+        if origins:
+            unique = list(dict.fromkeys(origins))
+            message += " (labels forced up at: " + ", ".join(unique) + ")"
+        return IfcDiagnostic(
+            self.constraint.kind, message, self.constraint.span, self.constraint.rule
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"{self.constraint.span}: {self.constraint.describe()} fails "
+            f"({self.observed} ⋢ {self.required})"
+        )
+
+
+@dataclass
+class Solution:
+    """Outcome of solving a constraint system."""
+
+    lattice: Lattice
+    assignment: Dict[LabelVar, Label] = field(default_factory=dict)
+    conflicts: List[InferenceConflict] = field(default_factory=list)
+    #: Number of worklist pops the Kleene iteration performed.
+    iterations: int = 0
+    propagation_count: int = 0
+    check_count: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.conflicts
+
+    def value_of(self, var: LabelVar) -> Label:
+        return self.assignment.get(var, self.lattice.bottom)
+
+
+#: One propagation edge: left term, target variable, originating constraint,
+#: and -- for join-on-rhs constraints -- the constant part of the join, which
+#: *covers* the flow (nothing propagates) whenever the left side fits under it.
+Propagation = Tuple[Term, LabelVar, Constraint, Optional[Label]]
+
+
+def _normalise(
+    lattice: Lattice,
+    constraint: Constraint,
+    lhs: Term,
+    rhs: Term,
+    propagations: List[Propagation],
+    checks: List[Tuple[Term, Term, Constraint]],
+) -> None:
+    if isinstance(rhs, MeetTerm):
+        for part in rhs.parts:
+            _normalise(lattice, constraint, lhs, part, propagations, checks)
+        return
+    if isinstance(rhs, VarTerm):
+        propagations.append((lhs, rhs.var, constraint, None))
+        return
+    if isinstance(rhs, JoinTerm):
+        # ``lhs ⊑ v ⊔ c`` arises when a use site joins an explicit label onto
+        # a slot variable (``<t, A> x`` over an unannotated ``typedef t``).
+        # Decompose a join on the left first (exact).  For the rest, a least
+        # solution is not in general well defined (any of the variables
+        # could absorb the flow); we propagate into the first variable, but
+        # only when the flow exceeds the join's constant part ``c`` -- a
+        # conditional edge whose transfer function (⊥ if lhs ⊑ c, else lhs)
+        # stays monotone, so the fixpoint exists and never raises a shared
+        # variable for a flow the explicit label already covers.
+        if isinstance(lhs, JoinTerm):
+            for part in lhs.parts:
+                _normalise(lattice, constraint, part, rhs, propagations, checks)
+            return
+        cover = lattice.join_all(
+            part.label for part in rhs.parts if isinstance(part, ConstTerm)
+        )
+        if isinstance(lhs, ConstTerm) and lattice.leq(lhs.label, cover):
+            return  # statically covered by the constant side
+        for part in rhs.parts:
+            if isinstance(part, VarTerm):
+                propagations.append((lhs, part.var, constraint, cover))
+                return
+        checks.append((lhs, rhs, constraint))
+        return
+    # Constant right-hand sides are upper bounds: checked after the fixpoint.
+    checks.append((lhs, rhs, constraint))
+
+
+def solve(lattice: Lattice, constraints: List[Constraint]) -> Solution:
+    """Solve ``constraints`` over ``lattice``; least solution plus conflicts."""
+    propagations: List[Propagation] = []
+    checks: List[Tuple[Term, Term, Constraint]] = []
+    for constraint in constraints:
+        _normalise(
+            lattice, constraint, constraint.lhs, constraint.rhs, propagations, checks
+        )
+
+    assignment: Dict[LabelVar, Label] = {}
+    for constraint in constraints:
+        for var in constraint.variables():
+            assignment.setdefault(var, lattice.bottom)
+
+    # Index: variable -> propagation edges whose left side mentions it.
+    dependents: Dict[LabelVar, List[int]] = {}
+    for index, (lhs, _target, _origin, _cover) in enumerate(propagations):
+        for var in free_vars(lhs):
+            dependents.setdefault(var, []).append(index)
+
+    solution = Solution(lattice, assignment)
+    solution.propagation_count = len(propagations)
+    solution.check_count = len(checks)
+
+    pending: List[int] = list(range(len(propagations)))
+    queued: Set[int] = set(pending)
+    # Worklist Kleene iteration from ⊥.  Monotone + finite lattice =>
+    # termination; the bound below only guards against a broken lattice.
+    budget = (len(propagations) + 1) * (len(assignment) + 1) * _height_bound(lattice)
+    while pending:
+        index = pending.pop()
+        queued.discard(index)
+        solution.iterations += 1
+        if solution.iterations > budget:
+            raise InferenceError(
+                "constraint solving did not converge; the lattice violates the "
+                "ascending chain condition"
+            )
+        lhs, target, _origin, cover = propagations[index]
+        value = evaluate(lhs, lattice, assignment)
+        if cover is not None and lattice.leq(value, cover):
+            continue  # the join's constant part absorbs the flow
+        current = assignment[target]
+        if not lattice.leq(value, current):
+            assignment[target] = lattice.join(current, value)
+            for dependent in dependents.get(target, ()):  # re-examine users
+                if dependent not in queued:
+                    queued.add(dependent)
+                    pending.append(dependent)
+
+    edges_into: Dict[LabelVar, List[int]] = {}
+    for index, (_lhs, target, _origin, _cover) in enumerate(propagations):
+        edges_into.setdefault(target, []).append(index)
+    for lhs, rhs, origin in checks:
+        observed = evaluate(lhs, lattice, assignment)
+        required = evaluate(rhs, lattice, assignment)
+        if not lattice.leq(observed, required):
+            core = _unsat_core(
+                lattice, assignment, propagations, edges_into, lhs, required
+            )
+            solution.conflicts.append(
+                InferenceConflict(origin, observed, required, tuple(core))
+            )
+    return solution
+
+
+def _height_bound(lattice: Lattice) -> int:
+    try:
+        return max(2, len(list(lattice.labels())))
+    except Exception:  # pragma: no cover - infinite/lazy lattices
+        return 64
+
+
+def _unsat_core(
+    lattice: Lattice,
+    assignment: Dict[LabelVar, Label],
+    propagations: List[Propagation],
+    edges_into: Dict[LabelVar, List[int]],
+    lhs: Term,
+    bound: Label,
+) -> List[Constraint]:
+    """Slice backwards from ``lhs`` through the edges that pushed it above
+    ``bound``.
+
+    A variable is *blamed* when its solved value does not fit under the
+    violated upper bound; every propagation edge into a blamed variable
+    whose source also exceeds the bound is part of the explanation.  The
+    walk bottoms out at constraints whose left side is constant -- the
+    explicit annotations the conflict is really between.
+    """
+    blamed: List[LabelVar] = [
+        var for var in free_vars(lhs) if not lattice.leq(assignment[var], bound)
+    ]
+    visited: Set[LabelVar] = set(blamed)
+    core: List[Constraint] = []
+    seen_edges: Set[int] = set()
+    while blamed:
+        var = blamed.pop(0)
+        for index in edges_into.get(var, ()):
+            if index in seen_edges:
+                continue
+            edge_lhs, _target, origin, cover = propagations[index]
+            edge_value = evaluate(edge_lhs, lattice, assignment)
+            if cover is not None and lattice.leq(edge_value, cover):
+                continue  # the edge propagated nothing (flow was covered)
+            if lattice.leq(edge_value, bound):
+                continue  # this edge alone kept the variable within bounds
+            seen_edges.add(index)
+            core.append(origin)
+            for upstream in free_vars(edge_lhs):
+                if upstream not in visited and not lattice.leq(
+                    assignment[upstream], bound
+                ):
+                    visited.add(upstream)
+                    blamed.append(upstream)
+    return core

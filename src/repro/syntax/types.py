@@ -26,6 +26,25 @@ from typing import Optional, Tuple
 
 from repro.syntax.source import SourceSpan
 
+#: Annotation spellings that explicitly request label inference.  ``<bit<8>,
+#: infer>`` (or ``<bit<8>, ?>``) asks the :mod:`repro.inference` subsystem to
+#: solve for the label; outside inference mode such annotations are label
+#: errors, so a partially annotated program cannot silently default to ⊥.
+INFERENCE_MARKERS = frozenset({"infer", "?"})
+
+
+def is_inference_marker(text: Optional[str]) -> bool:
+    """Whether ``text`` is an explicit ``infer`` / ``?`` label annotation."""
+    return text is not None and text.strip().lower() in INFERENCE_MARKERS
+
+
+def inference_marker_guidance(text: str, *, construct: str = "annotation") -> str:
+    """The shared diagnostic for an ``infer`` marker met outside infer mode."""
+    return (
+        f"{construct} {text!r} requests label inference; run the checker "
+        "with inference enabled (p4bid --infer)"
+    )
+
 
 @dataclass(frozen=True, slots=True)
 class Type:
@@ -217,6 +236,10 @@ class AnnotatedType:
     def with_label(self, label: Optional[str]) -> "AnnotatedType":
         """A copy of this annotated type carrying ``label``."""
         return AnnotatedType(self.ty, label, self.span)
+
+    def wants_inference(self) -> bool:
+        """Whether the annotation explicitly requests label inference."""
+        return is_inference_marker(self.label)
 
     def describe(self) -> str:
         if self.label is None:

@@ -43,6 +43,14 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="run only the ordinary type checker (the unannotated p4c baseline)",
     )
     parser.add_argument(
+        "--infer",
+        action="store_true",
+        help=(
+            "solve for missing or <type, infer>-marked security annotations "
+            "before the IFC check, and report the inferred labels"
+        ),
+    )
+    parser.add_argument(
         "--allow-declassify",
         action="store_true",
         help=(
@@ -72,6 +80,8 @@ def build_arg_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_arg_parser()
     args = parser.parse_args(argv)
+    if args.infer and args.core_only:
+        parser.error("--infer requires the security pass; drop --core-only")
     exit_code = 0
     outputs: List[str] = []
     for file_name in args.files:
@@ -85,6 +95,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             source,
             args.lattice,
             include_ifc=not args.core_only,
+            infer=args.infer,
             allow_declassification=args.allow_declassify,
             filename=str(path),
             name=path.stem,

@@ -3,8 +3,12 @@
 Mirrors how the paper's tool is built on p4c: a program is parsed, checked
 against the ordinary Core P4 type system (what plain p4c does), and then --
 when security checking is requested -- against the IFC type system of
-Section 4.  Timing of each phase is recorded so the Table 1 benchmark can
-report the overhead of the security pass over the baseline.
+Section 4.  With ``infer=True`` a label-inference phase
+(:mod:`repro.inference`) runs between the two: missing annotations are
+solved for, and the IFC phase re-verifies the *elaborated* program, so the
+security verdict still rests on the unmodified Figure 5–7 checker.  Timing
+of each phase is recorded so the Table 1 benchmark can report the overhead
+of the security pass over the baseline (and of inference over checking).
 """
 
 from __future__ import annotations
@@ -17,6 +21,7 @@ from repro.frontend.errors import FrontendError
 from repro.frontend.parser import parse_program
 from repro.ifc.checker import IfcCheckResult, check_ifc
 from repro.ifc.errors import IfcDiagnostic
+from repro.inference.engine import InferenceResult, infer_labels
 from repro.lattice.base import Lattice
 from repro.lattice.registry import get_lattice
 from repro.lattice.two_point import TwoPointLattice
@@ -31,11 +36,12 @@ class PhaseTiming:
 
     parse_ms: float = 0.0
     core_ms: float = 0.0
+    infer_ms: float = 0.0
     ifc_ms: float = 0.0
 
     @property
     def total_ms(self) -> float:
-        return self.parse_ms + self.core_ms + self.ifc_ms
+        return self.parse_ms + self.core_ms + self.infer_ms + self.ifc_ms
 
 
 @dataclass
@@ -46,6 +52,7 @@ class CheckReport:
     program: Optional[Program] = None
     parse_error: Optional[str] = None
     core_result: Optional[CoreCheckResult] = None
+    inference_result: Optional[InferenceResult] = None
     ifc_result: Optional[IfcCheckResult] = None
     timing: PhaseTiming = field(default_factory=PhaseTiming)
     lattice_name: str = "two-point"
@@ -55,16 +62,31 @@ class CheckReport:
         return list(self.core_result.diagnostics) if self.core_result else []
 
     @property
+    def inference_diagnostics(self) -> List[IfcDiagnostic]:
+        return list(self.inference_result.diagnostics) if self.inference_result else []
+
+    @property
     def ifc_diagnostics(self) -> List[IfcDiagnostic]:
         return list(self.ifc_result.diagnostics) if self.ifc_result else []
 
     @property
     def diagnostics(self) -> List[Union[TypeDiagnostic, IfcDiagnostic]]:
-        return [*self.core_diagnostics, *self.ifc_diagnostics]
+        return [
+            *self.core_diagnostics,
+            *self.inference_diagnostics,
+            *self.ifc_diagnostics,
+        ]
 
     @property
     def parsed(self) -> bool:
         return self.parse_error is None and self.program is not None
+
+    @property
+    def checked_program(self) -> Optional[Program]:
+        """The program the IFC verdict is about (elaborated when inferred)."""
+        if self.inference_result is not None and self.inference_result.ok:
+            return self.inference_result.elaborated
+        return self.program
 
     @property
     def core_ok(self) -> bool:
@@ -89,10 +111,23 @@ def check_program(
     lattice: Union[Lattice, str, None] = None,
     *,
     include_ifc: bool = True,
+    infer: bool = False,
     allow_declassification: bool = False,
     name: Optional[str] = None,
 ) -> CheckReport:
-    """Run the (core + optional IFC) checks over an already-parsed program."""
+    """Run the (core + optional infer + optional IFC) checks over a program.
+
+    ``infer=True`` inserts the label-inference phase ahead of the IFC check:
+    the solved, fully annotated program is what the IFC phase verifies.
+    When the constraint system is unsatisfiable the conflicts are reported
+    as the report's diagnostics and the IFC phase is skipped (re-checking a
+    partially solved program would only restate the same conflicts).
+    """
+    if infer and not include_ifc:
+        raise ValueError(
+            "infer=True requires the security pass; inference without the "
+            "IFC re-check has no verdict to report (drop include_ifc=False)"
+        )
     resolved = _resolve_lattice(lattice)
     report = CheckReport(name or program.name, program=program, lattice_name=resolved.name)
 
@@ -101,11 +136,24 @@ def check_program(
     report.timing.core_ms = (time.perf_counter() - start) * 1000.0
 
     if include_ifc:
-        start = time.perf_counter()
-        report.ifc_result = check_ifc(
-            program, resolved, allow_declassification=allow_declassification
-        )
-        report.timing.ifc_ms = (time.perf_counter() - start) * 1000.0
+        target: Optional[Program] = program
+        if infer:
+            start = time.perf_counter()
+            report.inference_result = infer_labels(
+                program, resolved, allow_declassification=allow_declassification
+            )
+            report.timing.infer_ms = (time.perf_counter() - start) * 1000.0
+            target = (
+                report.inference_result.elaborated
+                if report.inference_result.ok
+                else None
+            )
+        if target is not None:
+            start = time.perf_counter()
+            report.ifc_result = check_ifc(
+                target, resolved, allow_declassification=allow_declassification
+            )
+            report.timing.ifc_ms = (time.perf_counter() - start) * 1000.0
     return report
 
 
@@ -114,6 +162,7 @@ def check_source(
     lattice: Union[Lattice, str, None] = None,
     *,
     include_ifc: bool = True,
+    infer: bool = False,
     allow_declassification: bool = False,
     filename: str = "<input>",
     name: Optional[str] = None,
@@ -122,6 +171,8 @@ def check_source(
 
     ``include_ifc=False`` reproduces the unannotated baseline of Table 1
     (plain type checking only); the default runs the full P4BID pipeline.
+    ``infer=True`` additionally solves for missing / ``infer``-marked
+    security annotations before the IFC check (``p4bid --infer``).
     ``allow_declassification`` opts in to the audited ``declassify`` /
     ``endorse`` primitives (an extension; off by default to preserve the
     paper's strict non-interference).
@@ -140,6 +191,7 @@ def check_source(
         program,
         resolved,
         include_ifc=include_ifc,
+        infer=infer,
         allow_declassification=allow_declassification,
         name=report.name,
     )

@@ -17,6 +17,11 @@ def format_report(report: CheckReport, *, verbose: bool = False) -> str:
     if report.core_diagnostics:
         lines.append(f"-- {len(report.core_diagnostics)} type error(s) --")
         lines.extend(str(diag) for diag in report.core_diagnostics)
+    if report.inference_diagnostics:
+        lines.append(
+            f"-- {len(report.inference_diagnostics)} label-inference conflict(s) --"
+        )
+        lines.extend(str(diag) for diag in report.inference_diagnostics)
     if report.ifc_diagnostics:
         lines.append(f"-- {len(report.ifc_diagnostics)} information-flow violation(s) --")
         lines.extend(str(diag) for diag in report.ifc_diagnostics)
@@ -24,6 +29,25 @@ def format_report(report: CheckReport, *, verbose: bool = False) -> str:
         lines.append("OK: program is well-typed and satisfies non-interference")
     else:
         lines.append(f"REJECTED: {len(report.diagnostics)} problem(s) found")
+    inference = report.inference_result
+    if inference is not None:
+        qualifier = (
+            ""
+            if inference.ok
+            else " -- least labels only; no satisfying assignment exists"
+        )
+        lines.append(
+            f"-- inferred security labels ({len(inference.inferred)} slot(s), "
+            f"{inference.constraint_count} constraint(s)){qualifier} --"
+        )
+        for slot in inference.inferred:
+            lines.append(f"  {slot.describe(inference.lattice)}")
+        for control, var in inference.generation.control_pc_vars:
+            label = inference.solution.value_of(var)
+            lines.append(
+                f"  pc of control {control.name}: "
+                f"{inference.lattice.format_label(label)}"
+            )
     if report.ifc_result is not None and report.ifc_result.declassifications:
         lines.append(
             f"-- {len(report.ifc_result.declassifications)} audited release(s) --"
@@ -40,22 +64,60 @@ def format_report(report: CheckReport, *, verbose: bool = False) -> str:
                 lines.append(
                     f"  {table_name}: {report.ifc_result.lattice.format_label(bound)}"
                 )
-    lines.append(
-        "timing: parse {:.2f} ms, core {:.2f} ms, ifc {:.2f} ms".format(
-            report.timing.parse_ms, report.timing.core_ms, report.timing.ifc_ms
-        )
+    timing = "timing: parse {:.2f} ms, core {:.2f} ms".format(
+        report.timing.parse_ms, report.timing.core_ms
     )
+    if report.inference_result is not None:
+        timing += f", infer {report.timing.infer_ms:.2f} ms"
+    timing += f", ifc {report.timing.ifc_ms:.2f} ms"
+    lines.append(timing)
     return "\n".join(lines)
 
 
 def report_to_dict(report: CheckReport) -> Dict[str, Any]:
     """A JSON-serialisable view of a report (used by ``p4bid --json``)."""
+    inference = report.inference_result
     return {
         "name": report.name,
         "lattice": report.lattice_name,
         "ok": report.ok,
         "parse_error": report.parse_error,
         "core_diagnostics": [str(diag) for diag in report.core_diagnostics],
+        "inference": (
+            None
+            if inference is None
+            else {
+                "ok": inference.ok,
+                "variables": inference.variable_count,
+                "constraints": inference.constraint_count,
+                "labels": [
+                    {
+                        "slot": slot.hint,
+                        "label": inference.lattice.format_label(slot.label),
+                        "location": str(slot.span),
+                    }
+                    for slot in inference.inferred
+                ],
+                "control_pcs": [
+                    {
+                        "control": control.name,
+                        "label": inference.lattice.format_label(
+                            inference.solution.value_of(var)
+                        ),
+                    }
+                    for control, var in inference.generation.control_pc_vars
+                ],
+                "conflicts": [
+                    {
+                        "kind": diag.kind.value,
+                        "rule": diag.rule,
+                        "message": diag.message,
+                        "location": str(diag.span),
+                    }
+                    for diag in inference.diagnostics
+                ],
+            }
+        ),
         "ifc_diagnostics": [
             {
                 "kind": diag.kind.value,
@@ -80,6 +142,7 @@ def report_to_dict(report: CheckReport) -> Dict[str, Any]:
         "timing_ms": {
             "parse": report.timing.parse_ms,
             "core": report.timing.core_ms,
+            "infer": report.timing.infer_ms,
             "ifc": report.timing.ifc_ms,
             "total": report.timing.total_ms,
         },

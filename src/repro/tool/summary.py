@@ -21,8 +21,9 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.ifc.checker import IfcCheckResult
+from repro.ifc.convert import LabelResolutionError
 from repro.ifc.security_types import SHeader, SRecord, SStack, SecurityType
-from repro.lattice.base import Label, Lattice
+from repro.lattice.base import Label, Lattice, LatticeError
 from repro.ni.labeling import program_labeler
 from repro.syntax.program import Program
 from repro.tool.pipeline import CheckReport
@@ -133,12 +134,22 @@ def summarise_program(
 
 
 def summarise_report(report: CheckReport, lattice: Lattice) -> Optional[ProgramSummary]:
-    """Summary for a pipeline report (None when the program failed to parse)."""
-    if report.program is None:
+    """Summary for a pipeline report (None when the program failed to parse).
+
+    When the pipeline ran label inference, the summary describes the
+    *elaborated* program -- the security interface a reviewer would sign off
+    on is the one with the solved labels written in.  When that elaboration
+    does not exist (inference conflicts, or ``infer``-marked annotations
+    without ``--infer``), the raw program has no resolvable labels to
+    summarise and ``None`` is returned rather than crashing on the markers.
+    """
+    program = report.checked_program
+    if program is None:
         return None
-    return summarise_program(
-        report.program, lattice, report.ifc_result, name=report.name
-    )
+    try:
+        return summarise_program(program, lattice, report.ifc_result, name=report.name)
+    except (LabelResolutionError, LatticeError):
+        return None
 
 
 def format_summary(summary: ProgramSummary) -> str:

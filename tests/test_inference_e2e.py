@@ -1,0 +1,204 @@
+"""End-to-end label inference over the Section 5 case studies.
+
+The acceptance criteria of the inference subsystem:
+
+* every case study, stripped of *all* security annotations, round-trips
+  through ``infer → elaborate → check_ifc`` with zero diagnostics on its
+  paper lattice;
+* keeping only the header/struct annotations (the policy on the packet
+  formats) and inferring everything else reconstructs an assignment the
+  stock checker accepts for the secure variants, and produces inference
+  conflicts -- pointing at source spans -- for the leaky variants;
+* solved programs remain *empirically* non-interfering under the
+  differential harness (cross-validation against Definition 4.2).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.casestudies import all_case_studies, get_case_study
+from repro.casestudies.base import strip_body_annotations, strip_security_annotations
+from repro.frontend.parser import parse_program
+from repro.ifc.checker import check_ifc
+from repro.inference import infer_labels
+from repro.lattice.registry import get_lattice
+from repro.ni import check_non_interference
+from repro.tool.cli import main as cli_main
+from repro.tool.pipeline import check_source
+
+CASE_NAMES = [case.name for case in all_case_studies()]
+
+
+@pytest.fixture(params=CASE_NAMES)
+def named_case(request):
+    return get_case_study(request.param)
+
+
+class TestStrippedRoundTrip:
+    def test_fully_stripped_secure_variant_reinfers_and_rechecks(self, named_case):
+        lattice = get_lattice(named_case.lattice_name)
+        stripped = strip_security_annotations(named_case.secure_source)
+        result = infer_labels(parse_program(stripped), lattice)
+        assert result.ok, [str(d) for d in result.diagnostics]
+        recheck = check_ifc(result.elaborated, lattice)
+        assert recheck.ok, [str(d) for d in recheck.diagnostics]
+
+    def test_header_annotations_alone_suffice_for_secure_variant(self, named_case):
+        """Keep the packet-format policy, infer all the body labels."""
+        lattice = get_lattice(named_case.lattice_name)
+        partial = strip_body_annotations(named_case.secure_source)
+        result = infer_labels(parse_program(partial), lattice)
+        assert result.ok, [str(d) for d in result.diagnostics]
+        recheck = check_ifc(result.elaborated, lattice)
+        assert recheck.ok, [str(d) for d in recheck.diagnostics]
+
+    def test_inference_runs_through_the_pipeline(self, named_case):
+        lattice_name = named_case.lattice_name
+        stripped = strip_security_annotations(named_case.secure_source)
+        report = check_source(stripped, lattice_name, infer=True, name=named_case.name)
+        assert report.ok, [str(d) for d in report.diagnostics]
+        assert report.inference_result is not None
+        assert report.timing.infer_ms > 0
+        assert report.checked_program is report.inference_result.elaborated
+
+
+class TestLeakyVariantsConflict:
+    def test_annotated_insecure_variant_conflicts(self, named_case):
+        """Inference over the annotated leaky variant reports conflicts whose
+        kinds cover the violations the plain checker finds."""
+        lattice = get_lattice(named_case.lattice_name)
+        result = infer_labels(parse_program(named_case.insecure_source), lattice)
+        assert not result.ok
+        kinds = {diag.kind for diag in result.diagnostics}
+        for expected in named_case.expected_violations:
+            assert expected in kinds, (
+                f"{named_case.name}: expected a {expected.value} conflict, saw "
+                f"{[k.value for k in kinds]}"
+            )
+
+    def test_conflicts_point_at_source_spans(self, named_case):
+        lattice = get_lattice(named_case.lattice_name)
+        result = infer_labels(parse_program(named_case.insecure_source), lattice)
+        assert result.diagnostics
+        for diag in result.diagnostics:
+            assert not diag.span.is_unknown(), str(diag)
+
+    def test_body_stripped_insecure_d2r_blames_the_header_secret(self):
+        """With only the header annotations kept, the conflict's core chains
+        back to the declaration of the secret field."""
+        case = get_case_study("d2r")
+        partial = strip_body_annotations(case.insecure_source)
+        result = infer_labels(parse_program(partial), get_lattice(case.lattice_name))
+        assert not result.ok
+        assert any("forced up at" in diag.message for diag in result.diagnostics)
+
+    def test_pipeline_reports_conflicts_as_diagnostics(self):
+        case = get_case_study("cache")
+        report = check_source(case.insecure_source, case.lattice_name, infer=True)
+        assert not report.ok
+        assert report.inference_diagnostics
+        assert report.ifc_result is None
+
+
+class TestNICrossValidation:
+    """Solved programs stay empirically non-interfering (Definition 4.2)."""
+
+    @pytest.mark.parametrize("name", CASE_NAMES)
+    def test_elaborated_secure_variant_holds(self, name):
+        case = get_case_study(name)
+        lattice = get_lattice(case.lattice_name)
+        partial = strip_body_annotations(case.secure_source)
+        result = infer_labels(parse_program(partial), lattice)
+        assert result.ok
+        control_name = case.control_names[0] if case.control_names else None
+        level = (
+            lattice.parse_label(case.ni_observation_level)
+            if case.ni_observation_level is not None
+            else None
+        )
+        ni = check_non_interference(
+            result.elaborated,
+            lattice,
+            level=level,
+            control_name=control_name,
+            control_plane=case.control_plane(),
+            trials=20,
+            seed=7,
+        )
+        assert ni.holds, str(ni.counterexample)
+
+
+class TestStripBodyAnnotations:
+    def test_keeps_header_annotations(self):
+        case = get_case_study("d2r")
+        partial = strip_body_annotations(case.secure_source)
+        assert "<bit<32>, high> num_hops" in partial
+        assert "<bit<32>, low> tried" not in partial
+
+    def test_comment_mentioning_control_does_not_move_the_anchor(self):
+        source = (
+            "// the ingress control pipeline\n"
+            "header h_t { <bit<8>, high> s; }\n"
+            "struct headers { h_t h; }\n"
+            "control I(inout headers hdr) { <bit<8>, low> x; apply { } }\n"
+        )
+        partial = strip_body_annotations(source)
+        assert "<bit<8>, high> s;" in partial  # header labels preserved
+        assert "<bit<8>, low> x;" not in partial  # body labels stripped
+
+    def test_program_without_controls_is_unchanged(self):
+        source = "header h_t { <bit<8>, high> s; }\n"
+        assert strip_body_annotations(source) == source
+
+    def test_declarations_after_a_control_keep_their_labels(self):
+        source = (
+            "header a_t { <bit<8>, high> s; }\n"
+            "struct headers { a_t a; }\n"
+            "control One(inout headers hdr) { <bit<8>, low> x; apply { } }\n"
+            "header b_t { <bit<8>, high> t; }\n"
+            "control Two(inout headers hdr) { <bit<8>, low> y; apply { } }\n"
+        )
+        partial = strip_body_annotations(source)
+        assert "<bit<8>, high> s;" in partial
+        assert "<bit<8>, high> t;" in partial  # declared *after* control One
+        assert "<bit<8>, low> x;" not in partial
+        assert "<bit<8>, low> y;" not in partial
+
+
+class TestCli:
+    def test_infer_conflicts_with_core_only(self, tmp_path, capsys):
+        path = tmp_path / "x.p4"
+        path.write_text("header h_t { bit<8> a; }", encoding="utf-8")
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(["--infer", "--core-only", str(path)])
+        assert excinfo.value.code == 2
+
+    def test_infer_flag_prints_assignment(self, tmp_path, capsys):
+        case = get_case_study("d2r")
+        path = tmp_path / "d2r_stripped.p4"
+        path.write_text(strip_body_annotations(case.secure_source), encoding="utf-8")
+        assert cli_main(["--infer", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "inferred security labels" in out
+        assert "infer" in out.split("timing:")[1]
+
+    def test_infer_flag_reports_conflicts(self, tmp_path, capsys):
+        case = get_case_study("d2r")
+        path = tmp_path / "d2r_leaky.p4"
+        path.write_text(strip_body_annotations(case.insecure_source), encoding="utf-8")
+        assert cli_main(["--infer", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "label-inference conflict" in out
+
+    def test_json_report_includes_inference(self, tmp_path, capsys):
+        import json
+
+        case = get_case_study("cache")
+        path = tmp_path / "cache_stripped.p4"
+        path.write_text(strip_body_annotations(case.secure_source), encoding="utf-8")
+        assert cli_main(["--infer", "--json", str(path)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["inference"]["ok"] is True
+        assert payload["inference"]["labels"]
+        assert payload["timing_ms"]["infer"] > 0

@@ -1,0 +1,281 @@
+"""Unit and property tests for the inference constraint solver.
+
+The headline property: the solver computes the *least* solution.  For any
+constraint system and any other satisfying assignment, the solved
+assignment is point-wise ``⊑`` it, across every lattice the registry knows
+(plus taller chains).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ifc.errors import ViolationKind
+from repro.inference import (
+    Constraint,
+    ConstTerm,
+    JoinTerm,
+    MeetTerm,
+    VarSupply,
+    VarTerm,
+    evaluate,
+    join_terms,
+    meet_terms,
+    solve,
+)
+from repro.lattice.registry import available_lattices, get_lattice
+
+#: Every registered lattice, plus chains tall enough to exercise joins that
+#: are neither ⊥ nor ⊤.
+LATTICE_NAMES = sorted(set(available_lattices()) | {"chain-3", "chain-5"})
+
+
+def _lattices():
+    return [get_lattice(name) for name in LATTICE_NAMES]
+
+
+# ---------------------------------------------------------------------------
+# term simplification
+
+
+class TestTerms:
+    @pytest.mark.parametrize("lattice", _lattices(), ids=LATTICE_NAMES)
+    def test_join_of_constants_folds(self, lattice):
+        labels = list(lattice.labels())
+        for a in labels:
+            for b in labels:
+                term = join_terms(lattice, [ConstTerm(a), ConstTerm(b)])
+                assert term == ConstTerm(lattice.join(a, b))
+
+    @pytest.mark.parametrize("lattice", _lattices(), ids=LATTICE_NAMES)
+    def test_meet_of_constants_folds(self, lattice):
+        labels = list(lattice.labels())
+        for a in labels:
+            for b in labels:
+                term = meet_terms(lattice, [ConstTerm(a), ConstTerm(b)])
+                assert term == ConstTerm(lattice.meet(a, b))
+
+    def test_join_drops_bottom_and_flattens(self):
+        lattice = get_lattice("two-point")
+        supply = VarSupply()
+        x, y = VarTerm(supply.fresh("x")), VarTerm(supply.fresh("y"))
+        inner = join_terms(lattice, [x, ConstTerm(lattice.bottom)])
+        assert inner == x
+        nested = join_terms(lattice, [JoinTerm((x, y)), x])
+        assert nested == JoinTerm((x, y))
+
+    def test_join_saturates_at_top(self):
+        lattice = get_lattice("two-point")
+        x = VarTerm(VarSupply().fresh("x"))
+        assert join_terms(lattice, [x, ConstTerm(lattice.top)]) == ConstTerm(lattice.top)
+
+    def test_meet_collapses_at_bottom(self):
+        lattice = get_lattice("two-point")
+        x = VarTerm(VarSupply().fresh("x"))
+        assert meet_terms(lattice, [x, ConstTerm(lattice.bottom)]) == ConstTerm(
+            lattice.bottom
+        )
+
+    def test_empty_join_and_meet_are_the_bounds(self):
+        lattice = get_lattice("diamond")
+        assert join_terms(lattice, []) == ConstTerm(lattice.bottom)
+        assert meet_terms(lattice, []) == ConstTerm(lattice.top)
+
+
+# ---------------------------------------------------------------------------
+# direct solver behaviour
+
+
+class TestSolve:
+    def test_propagates_along_chain(self):
+        lattice = get_lattice("two-point")
+        supply = VarSupply()
+        a, b, c = (supply.fresh(h) for h in "abc")
+        constraints = [
+            Constraint(ConstTerm("high"), VarTerm(a)),
+            Constraint(VarTerm(a), VarTerm(b)),
+            Constraint(VarTerm(b), VarTerm(c)),
+        ]
+        solution = solve(lattice, constraints)
+        assert solution.ok
+        assert solution.value_of(a) == "high"
+        assert solution.value_of(c) == "high"
+
+    def test_unconstrained_variables_stay_bottom(self):
+        lattice = get_lattice("diamond")
+        supply = VarSupply()
+        a, b = supply.fresh("a"), supply.fresh("b")
+        constraints = [Constraint(VarTerm(a), VarTerm(b))]
+        solution = solve(lattice, constraints)
+        assert solution.value_of(a) == lattice.bottom
+        assert solution.value_of(b) == lattice.bottom
+
+    def test_meet_rhs_decomposes(self):
+        # a ⊑ b ⊓ c forces both b and c above a.
+        lattice = get_lattice("two-point")
+        supply = VarSupply()
+        a, b, c = (supply.fresh(h) for h in "abc")
+        constraints = [
+            Constraint(ConstTerm("high"), VarTerm(a)),
+            Constraint(VarTerm(a), MeetTerm((VarTerm(b), VarTerm(c)))),
+        ]
+        solution = solve(lattice, constraints)
+        assert solution.ok
+        assert solution.value_of(b) == "high"
+        assert solution.value_of(c) == "high"
+
+    def test_conflict_reports_core(self):
+        lattice = get_lattice("two-point")
+        supply = VarSupply()
+        a, b = supply.fresh("a"), supply.fresh("b")
+        source = Constraint(
+            ConstTerm("high"), VarTerm(a), rule="T-VarInit"
+        )
+        middle = Constraint(VarTerm(a), VarTerm(b), rule="T-Assign")
+        sink = Constraint(
+            VarTerm(b),
+            ConstTerm("low"),
+            rule="T-Assign",
+            kind=ViolationKind.EXPLICIT_FLOW,
+        )
+        solution = solve(lattice, [source, middle, sink])
+        assert not solution.ok
+        (conflict,) = solution.conflicts
+        assert conflict.constraint is sink
+        assert conflict.observed == "high"
+        assert conflict.required == "low"
+        assert source in conflict.core
+        assert middle in conflict.core
+
+    def test_conflict_diagnostic_carries_kind_and_rule(self):
+        lattice = get_lattice("two-point")
+        bad = Constraint(
+            ConstTerm("high"),
+            ConstTerm("low"),
+            rule="T-Assign",
+            kind=ViolationKind.IMPLICIT_FLOW,
+            reason="guard leaks",
+        )
+        solution = solve(lattice, [bad])
+        (conflict,) = solution.conflicts
+        diag = conflict.as_diagnostic(lattice)
+        assert diag.kind is ViolationKind.IMPLICIT_FLOW
+        assert diag.rule == "T-Assign"
+        assert "guard leaks" in diag.message
+
+    def test_join_lhs_counts_all_parts(self):
+        lattice = get_lattice("diamond")
+        supply = VarSupply()
+        a, b = supply.fresh("a"), supply.fresh("b")
+        constraints = [
+            Constraint(ConstTerm("A"), VarTerm(a)),
+            Constraint(JoinTerm((VarTerm(a), ConstTerm("B"))), VarTerm(b)),
+        ]
+        solution = solve(lattice, constraints)
+        assert solution.value_of(b) == "top"
+
+
+# ---------------------------------------------------------------------------
+# the least-solution property
+
+
+def _constraint_systems(draw, lattice, n_vars):
+    """A random system of propagation constraints over ``n_vars`` variables."""
+    supply = VarSupply()
+    variables = [supply.fresh(f"v{i}") for i in range(n_vars)]
+    labels = list(lattice.labels())
+
+    def atom():
+        if draw(st.booleans()):
+            return VarTerm(draw(st.sampled_from(variables)))
+        return ConstTerm(draw(st.sampled_from(labels)))
+
+    constraints = []
+    for _ in range(draw(st.integers(min_value=0, max_value=12))):
+        lhs_atoms = [atom() for _ in range(draw(st.integers(min_value=1, max_value=3)))]
+        lhs = join_terms(lattice, lhs_atoms)
+        target = draw(st.sampled_from(variables))
+        constraints.append(Constraint(lhs, VarTerm(target)))
+    return variables, constraints
+
+
+def _satisfies(lattice, assignment, constraints):
+    return all(
+        lattice.leq(
+            evaluate(c.lhs, lattice, assignment), evaluate(c.rhs, lattice, assignment)
+        )
+        for c in constraints
+    )
+
+
+def _close(lattice, assignment, constraints):
+    """Grow ``assignment`` until it satisfies ``constraints`` (always possible
+    by pushing joins upward; terminates because the lattice is finite)."""
+    closed = dict(assignment)
+    changed = True
+    while changed:
+        changed = False
+        for constraint in constraints:
+            value = evaluate(constraint.lhs, lattice, closed)
+            target = constraint.rhs.var  # type: ignore[union-attr]
+            if not lattice.leq(value, closed[target]):
+                closed[target] = lattice.join(closed[target], value)
+                changed = True
+    return closed
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data(), name=st.sampled_from(LATTICE_NAMES))
+def test_solver_computes_a_solution(data, name):
+    """The solved assignment satisfies every propagation constraint."""
+    lattice = get_lattice(name)
+    _, constraints = _constraint_systems(data.draw, lattice, n_vars=4)
+    solution = solve(lattice, constraints)
+    assert solution.ok
+    assert _satisfies(lattice, dict(solution.assignment), constraints)
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data(), name=st.sampled_from(LATTICE_NAMES))
+def test_solver_computes_the_least_solution(data, name):
+    """solution ⊑ any other satisfying assignment, point-wise.
+
+    Other satisfying assignments are produced by seeding every variable with
+    an arbitrary label and closing upward; the closure of *any* seed is
+    satisfying, so the least solution must sit below all of them.
+    """
+    lattice = get_lattice(name)
+    variables, constraints = _constraint_systems(data.draw, lattice, n_vars=4)
+    solution = solve(lattice, constraints)
+
+    labels = list(lattice.labels())
+    seed = {
+        var: data.draw(st.sampled_from(labels), label=f"seed[{var.uid}]")
+        for var in variables
+    }
+    other = _close(lattice, seed, constraints)
+    assert _satisfies(lattice, other, constraints)
+    for var in variables:
+        assert lattice.leq(solution.value_of(var), other[var]), (
+            f"solved {solution.value_of(var)!r} for {var} is not below the "
+            f"alternative satisfying assignment's {other[var]!r}"
+        )
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.data(), name=st.sampled_from(LATTICE_NAMES))
+def test_checks_do_not_disturb_the_assignment(data, name):
+    """Upper-bound (check) constraints never raise the solved labels."""
+    lattice = get_lattice(name)
+    variables, constraints = _constraint_systems(data.draw, lattice, n_vars=3)
+    baseline = solve(lattice, constraints)
+    labels = list(lattice.labels())
+    with_checks = constraints + [
+        Constraint(VarTerm(var), ConstTerm(data.draw(st.sampled_from(labels))))
+        for var in variables
+    ]
+    solution = solve(lattice, with_checks)
+    for var in variables:
+        assert solution.value_of(var) == baseline.value_of(var)
