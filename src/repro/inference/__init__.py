@@ -15,10 +15,15 @@ fully annotated program that the unmodified checker re-verifies.
   ``infer``-marked annotations into variables.
 * :mod:`repro.inference.solve` -- Kleene least-fixpoint solving plus
   unsatisfiable-core extraction for conflicts.
+* :mod:`repro.inference.graph` -- the propagation-graph subsystem: edges
+  deduplicated and condensed into SCCs (Tarjan), the Kleene iteration
+  scheduled in topological component order, cone-of-influence queries.
 * :mod:`repro.inference.elaborate` -- substitution of solved labels back
   into the AST.
 * :mod:`repro.inference.engine` -- the generate → solve → elaborate
-  pipeline behind :func:`infer_labels`.
+  pipeline behind :func:`infer_labels`, and the persistent :class:`Solver`
+  whose :meth:`Solver.resolve` re-solves only the cone of influence of
+  edited slots (for IDE-style interactive use).
 
 Quickstart::
 
@@ -33,14 +38,21 @@ Quickstart::
 
 from repro.inference.constraints import Constraint, ConstraintSet
 from repro.inference.elaborate import elaborate_program
-from repro.inference.engine import InferenceResult, InferredLabel, infer_labels
+from repro.inference.engine import InferenceResult, InferredLabel, Solver, infer_labels
 from repro.inference.generate import (
     ConstraintGenerator,
     GenerationResult,
     InferenceLabeler,
     generate_constraints,
 )
-from repro.inference.solve import InferenceConflict, InferenceError, Solution, solve
+from repro.inference.graph import PropagationEdge, PropagationGraph, SolverStats
+from repro.inference.solve import (
+    InferenceConflict,
+    InferenceError,
+    Solution,
+    solve,
+    solve_worklist,
+)
 from repro.inference.terms import (
     ConstTerm,
     JoinTerm,
@@ -69,7 +81,11 @@ __all__ = [
     "JoinTerm",
     "LabelVar",
     "MeetTerm",
+    "PropagationEdge",
+    "PropagationGraph",
     "Solution",
+    "Solver",
+    "SolverStats",
     "Term",
     "VarSupply",
     "VarTerm",
@@ -81,4 +97,5 @@ __all__ = [
     "join_terms",
     "meet_terms",
     "solve",
+    "solve_worklist",
 ]

@@ -25,12 +25,21 @@ genuine conflict.  For each conflict an *unsatisfiable core* is extracted
 by slicing backwards through the propagation edges that raised the
 offending variables, giving the chain of source spans from the annotated
 secret to the too-low sink.
+
+Scheduling lives in :mod:`repro.inference.graph`: :func:`solve` builds a
+:class:`~repro.inference.graph.PropagationGraph` (edges deduplicated,
+condensed into SCCs via Tarjan) and runs the Kleene iteration in
+topological component order, so acyclic regions are solved in one pass and
+iteration is confined to genuine cycles.  :func:`solve_worklist` keeps the
+original single global worklist as the reference implementation -- the
+property tests assert both produce identical least solutions and conflict
+sets, and the scaling benchmark compares their iteration counts.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
 from repro.ifc.errors import IfcDiagnostic
 from repro.inference.constraints import Constraint
@@ -42,9 +51,11 @@ from repro.inference.terms import (
     Term,
     VarTerm,
     evaluate,
-    free_vars,
 )
 from repro.lattice.base import Label, Lattice
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.inference.graph import SolverStats
 
 
 class InferenceError(Exception):
@@ -96,6 +107,10 @@ class Solution:
     iterations: int = 0
     propagation_count: int = 0
     check_count: int = 0
+    #: Scheduler statistics (SCC counts, edges visited, passes, solve time);
+    #: populated by the graph-based solver, ``None`` for the reference
+    #: worklist solver's bare counters.
+    stats: Optional["SolverStats"] = None
 
     @property
     def ok(self) -> bool:
@@ -156,34 +171,40 @@ def _normalise(
 
 
 def solve(lattice: Lattice, constraints: List[Constraint]) -> Solution:
-    """Solve ``constraints`` over ``lattice``; least solution plus conflicts."""
-    propagations: List[Propagation] = []
-    checks: List[Tuple[Term, Term, Constraint]] = []
-    for constraint in constraints:
-        _normalise(
-            lattice, constraint, constraint.lhs, constraint.rhs, propagations, checks
-        )
+    """Solve ``constraints`` over ``lattice``; least solution plus conflicts.
 
-    assignment: Dict[LabelVar, Label] = {}
-    for constraint in constraints:
-        for var in constraint.variables():
-            assignment.setdefault(var, lattice.bottom)
+    Builds the propagation graph, condenses it into SCCs and schedules the
+    Kleene iteration in topological component order (see
+    :mod:`repro.inference.graph`).  For a persistent graph that supports
+    incremental re-solving, use :class:`repro.inference.engine.Solver`.
+    """
+    from repro.inference.graph import PropagationGraph
 
-    # Index: variable -> propagation edges whose left side mentions it.
-    dependents: Dict[LabelVar, List[int]] = {}
-    for index, (lhs, _target, _origin, _cover) in enumerate(propagations):
-        for var in free_vars(lhs):
-            dependents.setdefault(var, []).append(index)
+    return PropagationGraph(lattice, constraints).solve()
 
+
+def solve_worklist(lattice: Lattice, constraints: List[Constraint]) -> Solution:
+    """The original single-worklist Kleene solver, kept as the reference.
+
+    Runs over the same deduplicated propagation edges as :func:`solve` but
+    with one global LIFO worklist seeded with every edge, exactly as the
+    seed solver scheduled it.  Property tests assert it agrees with the
+    SCC-scheduled solver; the scaling benchmark counts how many more pops
+    this schedule needs.
+    """
+    from repro.inference.graph import PropagationGraph
+
+    graph = PropagationGraph(lattice, constraints)
+    assignment = graph.fresh_assignment()
     solution = Solution(lattice, assignment)
-    solution.propagation_count = len(propagations)
-    solution.check_count = len(checks)
+    solution.propagation_count = len(graph.edges)
+    solution.check_count = len(graph.checks)
 
-    pending: List[int] = list(range(len(propagations)))
+    pending: List[int] = list(range(len(graph.edges)))
     queued: Set[int] = set(pending)
     # Worklist Kleene iteration from ⊥.  Monotone + finite lattice =>
     # termination; the bound below only guards against a broken lattice.
-    budget = (len(propagations) + 1) * (len(assignment) + 1) * _height_bound(lattice)
+    budget = (len(graph.edges) + 1) * (len(assignment) + 1) * _height_bound(lattice)
     while pending:
         index = pending.pop()
         queued.discard(index)
@@ -193,81 +214,36 @@ def solve(lattice: Lattice, constraints: List[Constraint]) -> Solution:
                 "constraint solving did not converge; the lattice violates the "
                 "ascending chain condition"
             )
-        lhs, target, _origin, cover = propagations[index]
-        value = evaluate(lhs, lattice, assignment)
-        if cover is not None and lattice.leq(value, cover):
+        edge = graph.edges[index]
+        value = evaluate(edge.lhs, lattice, assignment)
+        if edge.cover is not None and lattice.leq(value, edge.cover):
             continue  # the join's constant part absorbs the flow
-        current = assignment[target]
+        current = assignment[edge.target]
         if not lattice.leq(value, current):
-            assignment[target] = lattice.join(current, value)
-            for dependent in dependents.get(target, ()):  # re-examine users
+            assignment[edge.target] = lattice.join(current, value)
+            for dependent in graph.dependents.get(edge.target, ()):  # re-examine
                 if dependent not in queued:
                     queued.add(dependent)
                     pending.append(dependent)
 
-    edges_into: Dict[LabelVar, List[int]] = {}
-    for index, (_lhs, target, _origin, _cover) in enumerate(propagations):
-        edges_into.setdefault(target, []).append(index)
-    for lhs, rhs, origin in checks:
-        observed = evaluate(lhs, lattice, assignment)
-        required = evaluate(rhs, lattice, assignment)
-        if not lattice.leq(observed, required):
-            core = _unsat_core(
-                lattice, assignment, propagations, edges_into, lhs, required
-            )
-            solution.conflicts.append(
-                InferenceConflict(origin, observed, required, tuple(core))
-            )
+    solution.conflicts = [
+        conflict
+        for conflict in graph.check_conflicts(assignment)
+        if conflict is not None
+    ]
     return solution
 
 
 def _height_bound(lattice: Lattice) -> int:
+    """An upper bound on ascending-chain length, from lattice structure.
+
+    Delegates to :meth:`repro.lattice.base.Lattice.height_bound`, which
+    structured lattices (powersets, products, chains) answer without
+    enumerating their carrier -- the seed implementation materialised
+    ``list(lattice.labels())``, which is 2^n labels for a powerset over n
+    principals.
+    """
     try:
-        return max(2, len(list(lattice.labels())))
+        return max(2, lattice.height_bound())
     except Exception:  # pragma: no cover - infinite/lazy lattices
         return 64
-
-
-def _unsat_core(
-    lattice: Lattice,
-    assignment: Dict[LabelVar, Label],
-    propagations: List[Propagation],
-    edges_into: Dict[LabelVar, List[int]],
-    lhs: Term,
-    bound: Label,
-) -> List[Constraint]:
-    """Slice backwards from ``lhs`` through the edges that pushed it above
-    ``bound``.
-
-    A variable is *blamed* when its solved value does not fit under the
-    violated upper bound; every propagation edge into a blamed variable
-    whose source also exceeds the bound is part of the explanation.  The
-    walk bottoms out at constraints whose left side is constant -- the
-    explicit annotations the conflict is really between.
-    """
-    blamed: List[LabelVar] = [
-        var for var in free_vars(lhs) if not lattice.leq(assignment[var], bound)
-    ]
-    visited: Set[LabelVar] = set(blamed)
-    core: List[Constraint] = []
-    seen_edges: Set[int] = set()
-    while blamed:
-        var = blamed.pop(0)
-        for index in edges_into.get(var, ()):
-            if index in seen_edges:
-                continue
-            edge_lhs, _target, origin, cover = propagations[index]
-            edge_value = evaluate(edge_lhs, lattice, assignment)
-            if cover is not None and lattice.leq(edge_value, cover):
-                continue  # the edge propagated nothing (flow was covered)
-            if lattice.leq(edge_value, bound):
-                continue  # this edge alone kept the variable within bounds
-            seen_edges.add(index)
-            core.append(origin)
-            for upstream in free_vars(edge_lhs):
-                if upstream not in visited and not lattice.leq(
-                    assignment[upstream], bound
-                ):
-                    visited.add(upstream)
-                    blamed.append(upstream)
-    return core

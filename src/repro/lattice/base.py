@@ -103,6 +103,19 @@ class Lattice(ABC):
             result = self.meet(result, label)
         return result
 
+    # -- structure ----------------------------------------------------------
+
+    def height_bound(self) -> int:
+        """An upper bound on the length of any strictly ascending chain.
+
+        Used by the constraint solver to budget Kleene iteration.  The
+        default counts the carrier (a chain visits distinct labels), which
+        is only suitable for small lattices; lattices with a large but
+        structured carrier -- powersets, products -- override this with a
+        bound computed from their structure instead of enumerating labels.
+        """
+        return max(2, sum(1 for _ in self.labels()))
+
     # -- parsing / display --------------------------------------------------
 
     def parse_label(self, text: str) -> Label:

@@ -35,6 +35,10 @@ class ChainLattice(FiniteLattice):
         """The labels in increasing order."""
         return self._levels
 
+    def height_bound(self) -> int:
+        # A chain's height is exactly its number of levels.
+        return len(self._levels)
+
     def rank(self, label: str) -> int:
         """The position of ``label`` in the chain (0 = bottom)."""
         self.require(label)

@@ -34,6 +34,11 @@ class PowersetLattice(Lattice):
             )
         )
 
+    def height_bound(self) -> int:
+        # Chains add one principal at a time: at most |universe| + 1 steps.
+        # (The default would enumerate all 2^n subsets.)
+        return max(2, len(self._universe) + 1)
+
     def leq(self, a: Label, b: Label) -> bool:
         self.require(a)
         self.require(b)

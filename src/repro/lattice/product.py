@@ -24,6 +24,13 @@ class ProductLattice(Lattice):
     def labels(self) -> Iterable[Tuple[Label, Label]]:
         return tuple((a, b) for a in self._left.labels() for b in self._right.labels())
 
+    def height_bound(self) -> int:
+        # A strict step in the product strictly raises at least one
+        # component, so chains are bounded by the sum of the component
+        # heights (minus the shared starting point) -- far below the
+        # default carrier-size bound of |left| * |right|.
+        return max(2, self._left.height_bound() + self._right.height_bound() - 1)
+
     def leq(self, a: Tuple[Label, Label], b: Tuple[Label, Label]) -> bool:
         self.require(a)
         self.require(b)

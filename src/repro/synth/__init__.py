@@ -1,19 +1,26 @@
 """Synthetic program generation.
 
 Used by the ablation benchmarks (checker cost vs program size and vs
-lattice height) and by the property-based tests that validate the
-soundness claim empirically: any randomly generated program the checker
-accepts must pass the differential non-interference harness.
+lattice height), by the property-based tests that validate the soundness
+claim empirically (any randomly generated program the checker accepts must
+pass the differential non-interference harness), and by the solver-scaling
+stress suite (:func:`deep_dataflow_program` / :func:`scc_cycle_program`
+synthesise programs whose inference constraint systems reach 10k+
+constraints).
 """
 
 from repro.synth.programs import (
     chain_pipeline_program,
+    deep_dataflow_program,
     random_straightline_program,
+    scc_cycle_program,
     wide_table_program,
 )
 
 __all__ = [
     "chain_pipeline_program",
+    "deep_dataflow_program",
     "random_straightline_program",
+    "scc_cycle_program",
     "wide_table_program",
 ]

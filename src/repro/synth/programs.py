@@ -1,6 +1,6 @@
 """Generators for synthetic annotated P4 programs.
 
-Three families:
+Five families:
 
 * :func:`random_straightline_program` -- random mixes of assignments and
   conditionals over a small header with one field per security level.
@@ -12,6 +12,13 @@ Three families:
   level ``i+1``.  Always well-typed; used by the lattice-size ablation.
 * :func:`wide_table_program` -- a control block with many actions and
   tables; used by the program-size ablation alongside the D2R unrolling.
+* :func:`deep_dataflow_program` -- long *unannotated* def-use chains
+  seeded by one annotated source, yielding a propagation graph that is one
+  deep acyclic path per chain.  Sized to produce 10k+ inference
+  constraints for the solver-scaling benchmark.
+* :func:`scc_cycle_program` -- many mutually-assigning field groups (each
+  a genuine strongly connected component in the propagation graph) chained
+  one after another, stressing SCC condensation and confined iteration.
 """
 
 from __future__ import annotations
@@ -120,6 +127,105 @@ def chain_pipeline_program(levels: Sequence[str], *, rounds: int = 1) -> str:
         _header_for_levels(levels, width=32)
         + "\ncontrol Pipeline_Ingress(inout headers hdr) {\n    apply {\n"
         + "\n".join(lines)
+        + "\n    }\n}\n"
+    )
+
+
+def deep_dataflow_program(
+    depth: int,
+    *,
+    chains: int = 1,
+    source_level: str = "high",
+    sink_level: Optional[str] = None,
+    width: int = 8,
+) -> str:
+    """``chains`` unannotated def-use chains of length ``depth`` each.
+
+    The header declares one annotated ``seed`` field at ``source_level``
+    and ``chains * depth`` *unannotated* fields; every chain copies the
+    seed into its first field and then each field into the next.  Under
+    inference every unannotated field becomes a label variable and every
+    assignment a propagation edge, so the constraint system is ``chains``
+    parallel acyclic paths of length ``depth`` -- the worst case for an
+    unordered worklist (which revisits each edge it popped too early) and
+    the best case for topological scheduling (one pass).
+
+    ``sink_level`` optionally appends a ``sink`` field at that level
+    assigned from the end of the first chain; choosing a level that does
+    not dominate ``source_level`` makes the system unsatisfiable with a
+    ``depth``-long unsat core, stressing conflict explanation at scale.
+    """
+    if depth < 1 or chains < 1:
+        raise ValueError("deep_dataflow_program needs depth >= 1 and chains >= 1")
+    fields = [f"    <bit<{width}>, {source_level}> seed;"]
+    for chain in range(chains):
+        fields.extend(
+            f"    bit<{width}> c{chain}_s{i};" for i in range(depth)
+        )
+    if sink_level is not None:
+        fields.append(f"    <bit<{width}>, {sink_level}> sink;")
+    body: List[str] = []
+    for chain in range(chains):
+        body.append(f"        hdr.data.c{chain}_s0 = hdr.data.seed;")
+        body.extend(
+            f"        hdr.data.c{chain}_s{i} = hdr.data.c{chain}_s{i - 1};"
+            for i in range(1, depth)
+        )
+    if sink_level is not None:
+        body.append(f"        hdr.data.sink = hdr.data.c0_s{depth - 1};")
+    return (
+        "header data_t {\n"
+        + "\n".join(fields)
+        + "\n}\n\nstruct headers { data_t data; }\n"
+        + "\ncontrol Deep_Ingress(inout headers hdr) {\n    apply {\n"
+        + "\n".join(body)
+        + "\n    }\n}\n"
+    )
+
+
+def scc_cycle_program(
+    cycles: int,
+    cycle_length: int = 3,
+    *,
+    source_level: str = "high",
+    width: int = 8,
+) -> str:
+    """``cycles`` groups of ``cycle_length`` mutually-assigning fields.
+
+    Each group's fields are copied around in a ring (``n1 = n0``, ...,
+    ``n0 = n(L-1)``), making every group one strongly connected component
+    of the propagation graph; group ``k`` is additionally fed from group
+    ``k-1`` (group 0 from the annotated seed), so the condensation is a
+    chain of ``cycles`` cyclic components.  A solver that schedules the
+    condensation topologically converges each ring locally before moving
+    on; a global worklist keeps revisiting earlier rings.
+    """
+    if cycles < 1 or cycle_length < 2:
+        raise ValueError(
+            "scc_cycle_program needs cycles >= 1 and cycle_length >= 2"
+        )
+    fields = [f"    <bit<{width}>, {source_level}> seed;"]
+    for cycle in range(cycles):
+        fields.extend(
+            f"    bit<{width}> c{cycle}_n{i};" for i in range(cycle_length)
+        )
+    body: List[str] = []
+    for cycle in range(cycles):
+        feeder = "seed" if cycle == 0 else f"c{cycle - 1}_n0"
+        body.append(f"        hdr.data.c{cycle}_n0 = hdr.data.{feeder};")
+        body.extend(
+            f"        hdr.data.c{cycle}_n{i} = hdr.data.c{cycle}_n{i - 1};"
+            for i in range(1, cycle_length)
+        )
+        body.append(
+            f"        hdr.data.c{cycle}_n0 = hdr.data.c{cycle}_n{cycle_length - 1};"
+        )
+    return (
+        "header data_t {\n"
+        + "\n".join(fields)
+        + "\n}\n\nstruct headers { data_t data; }\n"
+        + "\ncontrol Cycle_Ingress(inout headers hdr) {\n    apply {\n"
+        + "\n".join(body)
         + "\n    }\n}\n"
     )
 

@@ -72,6 +72,14 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="also print inferred action and table write bounds",
     )
     parser.add_argument(
+        "--solver-stats",
+        action="store_true",
+        help=(
+            "with --infer, also print constraint-solver statistics (SCC "
+            "condensation, worklist pops, passes per component, solve time)"
+        ),
+    )
+    parser.add_argument(
         "--version", action="version", version=f"p4bid {__version__}"
     )
     return parser
@@ -82,6 +90,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.infer and args.core_only:
         parser.error("--infer requires the security pass; drop --core-only")
+    if args.solver_stats and not args.infer:
+        parser.error("--solver-stats reports on the inference solver; add --infer")
     exit_code = 0
     outputs: List[str] = []
     for file_name in args.files:
@@ -107,7 +117,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 payload["summary"] = summary.as_dict() if summary else None
             outputs.append(json.dumps(payload, indent=2))
         else:
-            text = format_report(report, verbose=args.verbose)
+            text = format_report(
+                report, verbose=args.verbose, solver_stats=args.solver_stats
+            )
             if args.summary:
                 summary = summarise_report(report, get_lattice(args.lattice))
                 if summary is not None:

@@ -38,6 +38,9 @@ class PhaseTiming:
     core_ms: float = 0.0
     infer_ms: float = 0.0
     ifc_ms: float = 0.0
+    #: The constraint-solving portion of the infer phase (already included
+    #: in ``infer_ms``), as reported by the solver's own statistics.
+    solve_ms: float = 0.0
 
     @property
     def total_ms(self) -> float:
@@ -143,6 +146,9 @@ def check_program(
                 program, resolved, allow_declassification=allow_declassification
             )
             report.timing.infer_ms = (time.perf_counter() - start) * 1000.0
+            stats = report.inference_result.solution.stats
+            if stats is not None:
+                report.timing.solve_ms = stats.solve_ms
             target = (
                 report.inference_result.elaborated
                 if report.inference_result.ok

@@ -8,8 +8,14 @@ from typing import Any, Dict
 from repro.tool.pipeline import CheckReport
 
 
-def format_report(report: CheckReport, *, verbose: bool = False) -> str:
-    """A plain-text summary of a :class:`CheckReport` for the terminal."""
+def format_report(
+    report: CheckReport, *, verbose: bool = False, solver_stats: bool = False
+) -> str:
+    """A plain-text summary of a :class:`CheckReport` for the terminal.
+
+    ``solver_stats`` additionally prints what the constraint solver's
+    SCC-condensed scheduler did (``p4bid --solver-stats``).
+    """
     lines = [f"== P4BID report for {report.name} (lattice: {report.lattice_name}) =="]
     if report.parse_error is not None:
         lines.append(f"parse error: {report.parse_error}")
@@ -48,6 +54,23 @@ def format_report(report: CheckReport, *, verbose: bool = False) -> str:
                 f"  pc of control {control.name}: "
                 f"{inference.lattice.format_label(label)}"
             )
+    if solver_stats and inference is not None:
+        stats = inference.solution.stats
+        lines.append("-- solver statistics --")
+        if stats is None:
+            lines.append("  (not recorded by this solver)")
+        else:
+            lines.append(
+                f"  propagation edges: {stats.edge_count} "
+                f"({stats.edges_visited} visited), checks: {stats.check_count}"
+            )
+            lines.append(
+                f"  SCCs: {stats.scc_count} ({stats.cyclic_scc_count} cyclic, "
+                f"largest {stats.largest_scc}), worklist pops: "
+                f"{stats.worklist_pops}, max passes per component: "
+                f"{stats.max_passes}"
+            )
+            lines.append(f"  solve time: {stats.solve_ms:.2f} ms")
     if report.ifc_result is not None and report.ifc_result.declassifications:
         lines.append(
             f"-- {len(report.ifc_result.declassifications)} audited release(s) --"
@@ -90,6 +113,11 @@ def report_to_dict(report: CheckReport) -> Dict[str, Any]:
                 "ok": inference.ok,
                 "variables": inference.variable_count,
                 "constraints": inference.constraint_count,
+                "solver": (
+                    inference.solution.stats.as_dict()
+                    if inference.solution.stats is not None
+                    else None
+                ),
                 "labels": [
                     {
                         "slot": slot.hint,
@@ -143,6 +171,7 @@ def report_to_dict(report: CheckReport) -> Dict[str, Any]:
             "parse": report.timing.parse_ms,
             "core": report.timing.core_ms,
             "infer": report.timing.infer_ms,
+            "solve": report.timing.solve_ms,
             "ifc": report.timing.ifc_ms,
             "total": report.timing.total_ms,
         },

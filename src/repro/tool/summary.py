@@ -65,6 +65,10 @@ class ProgramSummary:
     table_bounds: Dict[str, Label] = field(default_factory=dict)
     declassification_count: int = 0
     violation_count: int = 0
+    #: When the report ran label inference: the solver's statistics
+    #: (variables, edges, SCCs, worklist pops), so the reviewed artefact
+    #: also records how the labels were derived.
+    solver: Optional[Dict[str, object]] = None
 
     def as_dict(self) -> Dict:
         return {
@@ -72,6 +76,7 @@ class ProgramSummary:
             "lattice": self.lattice_name,
             "violations": self.violation_count,
             "declassifications": self.declassification_count,
+            "solver": self.solver,
             "controls": [
                 {
                     "name": control.name,
@@ -147,9 +152,15 @@ def summarise_report(report: CheckReport, lattice: Lattice) -> Optional[ProgramS
     if program is None:
         return None
     try:
-        return summarise_program(program, lattice, report.ifc_result, name=report.name)
+        summary = summarise_program(
+            program, lattice, report.ifc_result, name=report.name
+        )
     except (LabelResolutionError, LatticeError):
         return None
+    inference = report.inference_result
+    if inference is not None and inference.solution.stats is not None:
+        summary.solver = inference.solution.stats.as_dict()
+    return summary
 
 
 def format_summary(summary: ProgramSummary) -> str:
@@ -171,4 +182,11 @@ def format_summary(summary: ProgramSummary) -> str:
         lines.append("table bounds (pc_tbl):")
         for table, bound in sorted(summary.table_bounds.items()):
             lines.append(f"    {table:<40} {bound}")
+    if summary.solver is not None:
+        lines.append(
+            "labels derived by inference: "
+            f"{summary.solver.get('variables', 0)} variable(s), "
+            f"{summary.solver.get('edges', 0)} edge(s), "
+            f"{summary.solver.get('sccs', 0)} SCC(s)"
+        )
     return "\n".join(lines)

@@ -422,6 +422,28 @@ class TestGenerationAndSolving:
         assert result.elaborated.controls[0].pc_label == HIGH
         assert check_ifc(result.elaborated, result.lattice).ok
 
+    def test_pc_maximisation_keeps_user_system_solver_stats(self):
+        """The internal pc-maximisation re-solve runs over an augmented
+        system (freeze + pin constraints); the reported stats must still
+        describe the *user's* constraint system."""
+        from repro.inference import PropagationGraph
+
+        source = """
+        header h_t { <bit<8>, high> s; }
+        struct headers { h_t h; }
+        @pc(infer)
+        control Ingress(inout headers hdr) {
+            apply { hdr.h.s = 1; }
+        }
+        """
+        result = infer_labels(parse_program(source))
+        assert result.ok
+        stats = result.solution.stats
+        plain = PropagationGraph(result.lattice, result.generation.constraints)
+        assert stats.edge_count == len(plain.edges)
+        assert stats.check_count == len(plain.checks)
+        assert stats.variable_count == len(plain.variables)
+
     def test_pc_marker_does_not_drag_inferred_slots_up(self):
         """The pc is maximised *against the least assignment*: a body
         writing only unconstrained inferred slots keeps those slots at ⊥

@@ -13,6 +13,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.ifc.errors import ViolationKind
+from repro.frontend.parser import parse_program
 from repro.inference import (
     Constraint,
     ConstTerm,
@@ -21,11 +22,17 @@ from repro.inference import (
     VarSupply,
     VarTerm,
     evaluate,
+    generate_constraints,
     join_terms,
     meet_terms,
     solve,
+    solve_worklist,
 )
+from repro.lattice.chain import ChainLattice
+from repro.lattice.powerset import PowersetLattice
+from repro.lattice.product import ProductLattice
 from repro.lattice.registry import available_lattices, get_lattice
+from repro.synth import random_straightline_program
 
 #: Every registered lattice, plus chains tall enough to exercise joins that
 #: are neither ⊥ nor ⊤.
@@ -178,6 +185,107 @@ class TestSolve:
 
 
 # ---------------------------------------------------------------------------
+# unsat cores (regression: deque-based backward slice, deduplicated edges)
+
+
+class TestUnsatCore:
+    def test_core_is_minimal_and_source_ordered_on_diamond(self):
+        """The core lists exactly the guilty chain, check-to-source, and
+        skips edges that kept their variable within the violated bound."""
+        lattice = get_lattice("diamond")
+        supply = VarSupply()
+        a, b, c = supply.fresh("a"), supply.fresh("b"), supply.fresh("c")
+        d = supply.fresh("d")
+        source = Constraint(ConstTerm("top"), VarTerm(a), rule="T-VarInit")
+        mid_ab = Constraint(VarTerm(a), VarTerm(b), rule="T-Assign")
+        mid_bc = Constraint(VarTerm(b), VarTerm(c), rule="T-Assign")
+        covered = Constraint(ConstTerm("bot"), VarTerm(c), rule="T-Lit")
+        unrelated = Constraint(ConstTerm("B"), VarTerm(d), rule="T-VarInit")
+        sink = Constraint(
+            VarTerm(c),
+            ConstTerm("bot"),
+            rule="T-Assign",
+            kind=ViolationKind.EXPLICIT_FLOW,
+        )
+        solution = solve(
+            lattice, [source, mid_ab, mid_bc, covered, unrelated, sink]
+        )
+        (conflict,) = solution.conflicts
+        # Minimal: neither the ⊥-valued edge into c nor the unrelated d
+        # edge appears; source-ordered: conflicting check's edge first,
+        # original source last.
+        assert conflict.core == (mid_bc, mid_ab, source)
+
+    def test_core_keeps_provenance_of_deduplicated_edges(self):
+        """Repeated use sites collapse to one edge but every originating
+        constraint stays available to the conflict explanation."""
+        lattice = get_lattice("two-point")
+        supply = VarSupply()
+        a, b = supply.fresh("a"), supply.fresh("b")
+        source = Constraint(ConstTerm("high"), VarTerm(a), rule="T-VarInit")
+        first_use = Constraint(VarTerm(a), VarTerm(b), rule="T-Assign")
+        second_use = Constraint(VarTerm(a), VarTerm(b), rule="T-TblDecl")
+        sink = Constraint(VarTerm(b), ConstTerm("low"), rule="T-Assign")
+        solution = solve(lattice, [source, first_use, second_use, sink])
+        assert solution.propagation_count == 2  # deduped: high→a, a→b
+        (conflict,) = solution.conflicts
+        assert first_use in conflict.core
+        assert second_use in conflict.core
+        assert source in conflict.core
+
+    def test_core_terminates_on_cycles(self):
+        lattice = get_lattice("two-point")
+        supply = VarSupply()
+        a, b = supply.fresh("a"), supply.fresh("b")
+        constraints = [
+            Constraint(ConstTerm("high"), VarTerm(a)),
+            Constraint(VarTerm(a), VarTerm(b)),
+            Constraint(VarTerm(b), VarTerm(a)),
+            Constraint(VarTerm(b), ConstTerm("low")),
+        ]
+        solution = solve(lattice, constraints)
+        (conflict,) = solution.conflicts
+        assert len(conflict.core) == len(set(conflict.core))
+
+
+# ---------------------------------------------------------------------------
+# height bounds (regression: no carrier enumeration for powersets/products)
+
+
+class TestHeightBound:
+    def test_powerset_bound_is_principal_count_plus_one(self):
+        lattice = PowersetLattice([f"p{i}" for i in range(40)])
+        # The seed computed max(2, len(list(labels()))): 2^40 labels.
+        assert lattice.height_bound() == 41
+
+    def test_product_bound_adds_component_heights(self):
+        lattice = ProductLattice(
+            PowersetLattice([f"a{i}" for i in range(20)]),
+            PowersetLattice([f"b{i}" for i in range(20)]),
+        )
+        assert lattice.height_bound() == 41
+
+    def test_chain_bound_is_exact(self):
+        assert ChainLattice.of_height(7).height_bound() == 7
+
+    def test_small_lattices_fall_back_to_enumeration(self):
+        assert get_lattice("two-point").height_bound() == 2
+        assert get_lattice("diamond").height_bound() == 4
+
+    def test_solve_over_large_powerset_is_fast(self):
+        """Solving over powerset-48 must not materialise 2^48 labels."""
+        lattice = PowersetLattice([f"p{i}" for i in range(48)])
+        supply = VarSupply()
+        a, b = supply.fresh("a"), supply.fresh("b")
+        constraints = [
+            Constraint(ConstTerm(frozenset({"p0", "p1"})), VarTerm(a)),
+            Constraint(VarTerm(a), VarTerm(b)),
+        ]
+        solution = solve(lattice, constraints)
+        assert solution.value_of(b) == frozenset({"p0", "p1"})
+
+
+# ---------------------------------------------------------------------------
 # the least-solution property
 
 
@@ -262,6 +370,99 @@ def test_solver_computes_the_least_solution(data, name):
             f"solved {solution.value_of(var)!r} for {var} is not below the "
             f"alternative satisfying assignment's {other[var]!r}"
         )
+
+
+# ---------------------------------------------------------------------------
+# SCC-scheduled solver vs the reference worklist solver
+
+
+#: A maximal chain of level names inside each lattice, usable both as field
+#: identifiers and as annotation spellings in synthesised programs.
+_PROGRAM_LEVELS = {
+    "two-point": ["low", "high"],
+    "diamond": ["bot", "A", "top"],
+}
+
+
+def _program_levels(lattice):
+    if lattice.name in _PROGRAM_LEVELS:
+        return _PROGRAM_LEVELS[lattice.name]
+    if isinstance(lattice, ChainLattice):
+        return list(lattice.levels)
+    raise AssertionError(f"no program levels defined for {lattice.name!r}")
+
+
+def _unannotate_fields(source: str, levels, keep) -> str:
+    """Strip the header annotation of every level not in ``keep``, turning
+    those fields into inference variables."""
+    for level in levels:
+        if level not in keep:
+            source = source.replace(
+                f"<bit<8>, {level}> f_{level};", f"bit<8> f_{level};"
+            )
+    return source
+
+
+def _conflict_key(lattice, conflict):
+    return (
+        conflict.constraint,
+        lattice.format_label(conflict.observed),
+        lattice.format_label(conflict.required),
+        conflict.core,
+    )
+
+
+def _assert_solvers_agree(lattice, constraints):
+    scheduled = solve(lattice, constraints)
+    reference = solve_worklist(lattice, constraints)
+    all_vars = set(scheduled.assignment) | set(reference.assignment)
+    for var in all_vars:
+        assert lattice.equal(
+            scheduled.value_of(var), reference.value_of(var)
+        ), f"solvers disagree on {var}"
+    scheduled_conflicts = sorted(
+        (_conflict_key(lattice, c) for c in scheduled.conflicts), key=repr
+    )
+    reference_conflicts = sorted(
+        (_conflict_key(lattice, c) for c in reference.conflicts), key=repr
+    )
+    assert scheduled_conflicts == reference_conflicts
+    return scheduled
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data(), name=st.sampled_from(LATTICE_NAMES))
+def test_scc_solver_matches_worklist_on_random_systems(data, name):
+    """Identical least solutions on random propagation-constraint systems."""
+    lattice = get_lattice(name)
+    _, constraints = _constraint_systems(data.draw, lattice, n_vars=4)
+    _assert_solvers_agree(lattice, constraints)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    name=st.sampled_from(LATTICE_NAMES),
+    data=st.data(),
+)
+def test_scc_solver_matches_worklist_on_synth_programs(seed, name, data):
+    """Identical least solutions *and* conflict sets on partially annotated
+    random straightline programs, across every registered lattice.
+
+    A random subset of the header fields loses its annotation (becoming
+    label variables); the remaining annotated fields act as fixed sources
+    and sinks, so both satisfiable and conflicting systems are generated.
+    """
+    lattice = get_lattice(name)
+    levels = _program_levels(lattice)
+    source = random_straightline_program(seed, statements=6, levels=levels)
+    keep = {
+        level for level in levels if data.draw(st.booleans(), label=level)
+    }
+    program = parse_program(_unannotate_fields(source, levels, keep))
+    generation = generate_constraints(program, lattice)
+    assert not generation.errors
+    _assert_solvers_agree(lattice, generation.constraints)
 
 
 @settings(max_examples=40, deadline=None)

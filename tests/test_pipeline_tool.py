@@ -8,6 +8,7 @@ from repro import check_source
 from repro.casestudies import get_case_study
 from repro.frontend.parser import parse_program
 from repro.lattice import DiamondLattice
+from repro.synth import deep_dataflow_program
 from repro.tool.cli import build_arg_parser, main
 from repro.tool.pipeline import check_program, check_source as pipeline_check_source
 from repro.tool.report import format_report, report_to_dict, report_to_json
@@ -115,6 +116,25 @@ class TestReportRendering:
         payload = report_to_dict(check_source(minimal_source))
         assert json.loads(json.dumps(payload)) == payload
 
+    def test_solver_stats_threaded_through_report(self):
+        report = check_source(deep_dataflow_program(8), infer=True)
+        assert report.ok
+        stats = report.inference_result.solution.stats
+        assert stats is not None and stats.edge_count > 0
+        # The solve portion of the infer phase is recorded separately.
+        assert 0.0 < report.timing.solve_ms <= report.timing.infer_ms
+
+        text = format_report(report, solver_stats=True)
+        assert "solver statistics" in text
+        assert "SCCs:" in text
+        assert "solver statistics" not in format_report(report)
+
+        payload = report_to_dict(report)
+        assert payload["inference"]["solver"]["edges"] == stats.edge_count
+        assert payload["inference"]["solver"]["sccs"] == stats.scc_count
+        assert payload["timing_ms"]["solve"] == report.timing.solve_ms
+        assert json.loads(json.dumps(payload)) == payload
+
 
 class TestCli:
     def write(self, tmp_path, name, content):
@@ -167,3 +187,16 @@ class TestCli:
         assert args.lattice == "two-point"
         assert not args.core_only
         assert not args.json
+        assert not args.solver_stats
+
+    def test_solver_stats_flag(self, tmp_path, capsys):
+        path = self.write(tmp_path, "deep.p4", deep_dataflow_program(6))
+        assert main(["--infer", "--solver-stats", path]) == 0
+        out = capsys.readouterr().out
+        assert "solver statistics" in out
+        assert "worklist pops" in out
+
+    def test_solver_stats_requires_infer(self, tmp_path, capsys):
+        path = self.write(tmp_path, "deep.p4", deep_dataflow_program(6))
+        with pytest.raises(SystemExit):
+            main(["--solver-stats", path])

@@ -86,6 +86,23 @@ class TestProgramSummary:
         report = check_source("control {")
         assert summarise_report(report, TwoPointLattice()) is None
 
+    def test_summarise_report_records_solver_stats_when_inferred(self):
+        from repro.synth import deep_dataflow_program
+
+        report = check_source(deep_dataflow_program(6), infer=True)
+        summary = summarise_report(report, TwoPointLattice())
+        assert summary is not None
+        assert summary.solver is not None
+        assert summary.solver["edges"] > 0
+        assert summary.as_dict()["solver"] == summary.solver
+        assert "labels derived by inference" in format_summary(summary)
+
+    def test_summary_without_inference_has_no_solver_stats(self):
+        case = get_case_study("topology")
+        summary = summarise_report(check_source(case.secure_source), TwoPointLattice())
+        assert summary is not None
+        assert summary.solver is None
+
     def test_format_summary_text(self):
         case = get_case_study("cache")
         text = format_summary(summarise(case.secure_source))

@@ -1,11 +1,17 @@
 """Tests for the synthetic program generators."""
 
+import pytest
+
 from repro.frontend.parser import parse_program
 from repro.ifc import check_ifc
+from repro.inference import generate_constraints, infer_labels, solve
 from repro.lattice import ChainLattice
+from repro.lattice.two_point import TwoPointLattice
 from repro.synth import (
     chain_pipeline_program,
+    deep_dataflow_program,
     random_straightline_program,
+    scc_cycle_program,
     wide_table_program,
 )
 from repro.syntax.visitor import walk
@@ -55,6 +61,81 @@ class TestChainPipeline:
         assert len(chain_pipeline_program(levels, rounds=5)) > len(
             chain_pipeline_program(levels, rounds=1)
         )
+
+
+class TestDeepDataflow:
+    def test_parses_and_core_typechecks(self):
+        program = parse_program(deep_dataflow_program(12, chains=2))
+        assert check_core_types(program).ok
+
+    def test_constraint_count_scales_with_depth(self):
+        lattice = TwoPointLattice()
+
+        def count(depth):
+            generation = generate_constraints(
+                parse_program(deep_dataflow_program(depth)), lattice
+            )
+            return len(generation.constraints)
+
+        assert count(40) == 40  # one edge per assignment
+        assert count(80) == 80
+
+    def test_inference_propagates_source_to_tail(self):
+        result = infer_labels(parse_program(deep_dataflow_program(10)))
+        assert result.ok
+        labels = result.assignment_by_hint()
+        tail = next(label for hint, label in labels.items() if "c0_s9" in hint)
+        assert tail == "high"
+
+    def test_graph_is_one_acyclic_path_per_chain(self):
+        lattice = TwoPointLattice()
+        generation = generate_constraints(
+            parse_program(deep_dataflow_program(15, chains=3)), lattice
+        )
+        solution = solve(lattice, generation.constraints)
+        assert solution.stats.cyclic_scc_count == 0
+        assert solution.stats.max_passes == 1
+
+    def test_sink_level_produces_a_conflict(self):
+        result = infer_labels(
+            parse_program(deep_dataflow_program(6, sink_level="low"))
+        )
+        assert not result.ok
+
+    def test_rejects_degenerate_sizes(self):
+        with pytest.raises(ValueError):
+            deep_dataflow_program(0)
+        with pytest.raises(ValueError):
+            deep_dataflow_program(3, chains=0)
+
+
+class TestSccCycles:
+    def test_parses_and_core_typechecks(self):
+        program = parse_program(scc_cycle_program(4, 3))
+        assert check_core_types(program).ok
+
+    def test_every_ring_is_one_cyclic_component(self):
+        lattice = TwoPointLattice()
+        generation = generate_constraints(
+            parse_program(scc_cycle_program(5, 4)), lattice
+        )
+        solution = solve(lattice, generation.constraints)
+        assert solution.ok
+        assert solution.stats.cyclic_scc_count == 5
+        assert solution.stats.largest_scc == 4
+
+    def test_source_reaches_every_ring(self):
+        result = infer_labels(parse_program(scc_cycle_program(3, 3)))
+        assert result.ok
+        labels = result.assignment_by_hint()
+        ring_labels = [v for k, v in labels.items() if "c2_n" in k]
+        assert ring_labels and all(label == "high" for label in ring_labels)
+
+    def test_rejects_degenerate_sizes(self):
+        with pytest.raises(ValueError):
+            scc_cycle_program(0)
+        with pytest.raises(ValueError):
+            scc_cycle_program(2, 1)
 
 
 class TestWideTables:
