@@ -20,6 +20,9 @@ import pytest
 
 from repro.casestudies import table1_case_studies
 from repro.casestudies.base import strip_body_annotations
+from repro.frontend.parser import parse_program
+from repro.inference import generate_constraints
+from repro.lattice.registry import get_lattice
 from repro.tool.pipeline import check_source
 
 CASES = {case.name: case for case in table1_case_studies()}
@@ -125,4 +128,76 @@ def test_inference_overhead_table(benchmark, record_table):
         assert inferred_ms <= annotated_ms * 5.0, (
             f"{label}: inference should be a modest overhead, got "
             f"{annotated_ms:.2f} -> {inferred_ms:.2f} ms"
+        )
+
+
+def test_unified_traversal_phase_guard(benchmark, record_table):
+    """Guard the shared Figure 5–7 traversal's two instantiations.
+
+    Since the ``repro.flow`` refactor the IFC check phase and the
+    constraint-generation phase run the *same* ``FlowAnalysis`` under
+    different label algebras, so neither may cost more than a small factor
+    of the other (the concrete side walks function bodies twice, the
+    symbolic side builds terms).  Phase times come from the pipeline's own
+    ``PhaseTiming`` (``ifc_ms`` / ``infer_ms``); the generate phase is also
+    timed in isolation.  Bounds are mutual and carry a generous absolute
+    floor so shared-runner noise on sub-millisecond programs cannot trip
+    them -- what they catch is a *structural* regression, e.g. a traversal
+    that starts re-walking bodies quadratically under one algebra only.
+    """
+
+    from repro.ifc import check_ifc
+
+    def measure_phases():
+        measured = []
+        for label, name in ROW_LABELS:
+            case = CASES[name]
+            report = _check_annotated(case)
+            assert report.ok
+            lattice = get_lattice(case.lattice_name)
+            annotated = parse_program(case.secure_source)
+            stripped = parse_program(strip_body_annotations(case.secure_source))
+
+            def check(_case, _program=annotated, _lattice=lattice):
+                return check_ifc(_program, _lattice)
+
+            def generate(_case, _program=stripped, _lattice=lattice):
+                return generate_constraints(_program, _lattice)
+
+            check_ms = _measure_ms(check, case)
+            generate_ms = _measure_ms(generate, case)
+            inferred = _check_inferred(case)
+            measured.append(
+                (label, report.timing.ifc_ms, check_ms, generate_ms,
+                 inferred.timing.infer_ms)
+            )
+        return measured
+
+    rows = benchmark.pedantic(measure_phases, rounds=1, iterations=1)
+
+    lines = [
+        "Unified traversal: concrete check phase vs symbolic generate phase (ms)",
+        f"{'Program':<10} {'ifc phase':>12} {'check (med)':>12} "
+        f"{'generate':>12} {'infer phase':>12}",
+    ]
+    for label, ifc_ms, check_ms, generate_ms, infer_ms in rows:
+        lines.append(
+            f"{label:<10} {ifc_ms:>12.2f} {check_ms:>12.2f} "
+            f"{generate_ms:>12.2f} {infer_ms:>12.2f}"
+        )
+    lines.append(
+        "Both phases drive the same repro.flow.FlowAnalysis (ConcreteAlgebra "
+        "vs SymbolicAlgebra); the mutual 5x-or-25ms bound pins that the "
+        "unification keeps the two instantiations within noise of each other."
+    )
+    record_table("unified_traversal_phases.txt", "\n".join(lines))
+
+    for label, _ifc_ms, check_ms, generate_ms, _infer_ms in rows:
+        assert generate_ms <= max(check_ms * 5.0, 25.0), (
+            f"{label}: generate phase regressed vs check phase "
+            f"({check_ms:.2f} -> {generate_ms:.2f} ms)"
+        )
+        assert check_ms <= max(generate_ms * 5.0, 25.0), (
+            f"{label}: check phase regressed vs generate phase "
+            f"({generate_ms:.2f} -> {check_ms:.2f} ms)"
         )

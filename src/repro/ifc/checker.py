@@ -7,6 +7,14 @@ security type ``⟨τ, χ⟩`` for every expression and a program-counter label
 single run reports every leak in a program (the behaviour of the P4BID
 tool built on p4c).
 
+Since the ``repro.flow`` refactor the Figure 5–7 rule walk itself lives in
+:class:`~repro.flow.analysis.FlowAnalysis`; :class:`IfcChecker` is a thin
+façade that runs the shared traversal with the
+:class:`~repro.flow.concrete.ConcreteAlgebra` (carrier: concrete lattice
+labels, ``⊑`` evaluated immediately).  The constraint generator of
+:mod:`repro.inference` runs the *same* traversal with a symbolic algebra,
+so the two interpretations cannot drift.
+
 Write-effect inference
 ----------------------
 
@@ -25,66 +33,25 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.ifc.context import SecurityContext, SecurityTypeDefs
-from repro.ifc.convert import LabelResolutionError, TypeLabeler
-from repro.ifc.declassify import DECLASSIFY_FUNCTIONS, DeclassificationEvent
+from repro.ifc.context import SecurityContext
+from repro.ifc.convert import TypeLabeler
+from repro.ifc.declassify import DeclassificationEvent
 from repro.ifc.errors import IfcDiagnostic, IfcError, ViolationKind
-from repro.ifc.security_types import (
-    SBit,
-    SBool,
-    SFunction,
-    SHeader,
-    SInt,
-    SMatchKind,
-    SParam,
-    SRecord,
-    SStack,
-    STable,
-    SUnit,
-    SecurityBody,
+# DIR_IN / DIR_INOUT / write_label live with the other security-type
+# helpers; re-exported here because they have always been importable from
+# the checker module.
+from repro.ifc.security_types import (  # noqa: F401  (re-exports)
+    DIR_IN,
+    DIR_INOUT,
     SecurityType,
-    bodies_compatible,
-    flow_allowed,
-    labels_equal,
-    read_label,
+    write_label,
 )
 from repro.lattice.base import Label, Lattice
 from repro.lattice.two_point import TwoPointLattice
 from repro.syntax import declarations as d
 from repro.syntax import expressions as e
 from repro.syntax import statements as s
-from repro.syntax.declarations import Direction
 from repro.syntax.program import Program
-from repro.syntax.source import SourceSpan
-from repro.syntax.types import (
-    AnnotatedType,
-    HeaderType,
-    RecordType,
-    inference_marker_guidance,
-    is_inference_marker,
-)
-from repro.typechecker.checker import DEFAULT_MATCH_KINDS
-
-#: Expression directionality, as in the ordinary system.
-DIR_IN = "in"
-DIR_INOUT = "inout"
-
-
-def write_label(lattice: Lattice, sec_type: SecurityType) -> Label:
-    """The meet of every label in ``sec_type``.
-
-    ``pc ⊑ write_label(t)`` holds exactly when ``pc`` is below the label of
-    every component of ``t``, which is the side condition T-Assign imposes
-    on writes to composite l-values.
-    """
-    body = sec_type.body
-    if isinstance(body, (SRecord, SHeader)):
-        return lattice.meet_all(
-            [write_label(lattice, field) for _, field in body.fields] or [sec_type.label]
-        )
-    if isinstance(body, SStack):
-        return write_label(lattice, body.element)
-    return sec_type.label
 
 
 @dataclass
@@ -115,7 +82,15 @@ class IfcCheckResult:
 
 
 class IfcChecker:
-    """Checks a program against the security type system of Section 4."""
+    """Checks a program against the security type system of Section 4.
+
+    A façade over the shared Figure 5–7 traversal
+    (:class:`repro.flow.analysis.FlowAnalysis`) instantiated with the
+    concrete label algebra.  The ``check_*`` methods mirror the typing
+    judgements and remain callable individually (e.g. for typing a single
+    expression in tests); ``check_program`` starts from a fresh algebra so
+    a checker instance can be reused.
+    """
 
     def __init__(
         self,
@@ -125,54 +100,38 @@ class IfcChecker:
     ) -> None:
         self._lattice = lattice or TwoPointLattice()
         self._allow_declassification = allow_declassification
-        self._diagnostics: List[IfcDiagnostic] = []
-        self._silent_depth = 0
-        self._write_bounds: List[List[Label]] = []
-        self._function_bounds: Dict[str, Label] = {}
-        self._table_bounds: Dict[str, Label] = {}
-        self._declassifications: List[DeclassificationEvent] = []
+        self._fresh()
+
+    def _fresh(self) -> None:
+        from repro.flow.analysis import FlowAnalysis
+        from repro.flow.concrete import ConcreteAlgebra
+
+        self._algebra = ConcreteAlgebra(
+            self._lattice, allow_declassification=self._allow_declassification
+        )
+        self._analysis = FlowAnalysis(self._algebra)
 
     @property
     def lattice(self) -> Lattice:
         return self._lattice
 
-    # ------------------------------------------------------------------ diagnostics
-
-    def _emit(
-        self, kind: ViolationKind, message: str, span: SourceSpan, rule: str
-    ) -> None:
-        if self._silent_depth == 0:
-            self._diagnostics.append(IfcDiagnostic(kind, message, span, rule))
-
-    def _record_write(self, label: Label) -> None:
-        if self._write_bounds:
-            self._write_bounds[-1].append(label)
-
-    def _fmt(self, label: Label) -> str:
-        return self._lattice.format_label(label)
+    @property
+    def _diagnostics(self) -> List[IfcDiagnostic]:
+        """The diagnostics collected so far (shared with the algebra)."""
+        return self._algebra.diagnostics
 
     # ------------------------------------------------------------------ entry points
 
     def check_program(self, program: Program) -> IfcCheckResult:
-        self._diagnostics = []
-        self._function_bounds = {}
-        self._table_bounds = {}
-        self._declassifications = []
-        delta = SecurityTypeDefs()
-        labeler = TypeLabeler(self._lattice, delta)
-        gamma = SecurityContext()
-        self._install_default_match_kinds(gamma)
-        for decl in program.declarations:
-            gamma = self.check_declaration(decl, gamma, labeler, self._lattice.bottom)
-        for control in program.controls:
-            self.check_control(control, gamma, labeler)
+        self._fresh()
+        self._analysis.run(program)
         return IfcCheckResult(
             program,
             self._lattice,
-            list(self._diagnostics),
-            dict(self._function_bounds),
-            dict(self._table_bounds),
-            list(self._declassifications),
+            list(self._algebra.diagnostics),
+            dict(self._analysis.function_bounds),
+            dict(self._analysis.table_bounds),
+            list(self._algebra.declassifications),
         )
 
     def check_control(
@@ -181,49 +140,7 @@ class IfcChecker:
         gamma: SecurityContext,
         labeler: TypeLabeler,
     ) -> None:
-        pc = self._resolve_control_pc(control)
-        scope = gamma.child()
-        for param in control.params:
-            sec_type = self._security_type(param.ty, labeler, param.span)
-            if sec_type is not None:
-                scope.bind(param.name, sec_type)
-        for decl in control.local_declarations:
-            scope = self.check_declaration(decl, scope, labeler, pc)
-        self.check_statement(control.apply_block, scope, labeler, pc)
-
-    def _resolve_control_pc(self, control: d.ControlDecl) -> Label:
-        if control.pc_label is None:
-            return self._lattice.bottom
-        try:
-            return self._lattice.parse_label(control.pc_label)
-        except Exception:
-            if is_inference_marker(control.pc_label):
-                message = inference_marker_guidance(
-                    control.pc_label, construct="@pc annotation"
-                )
-            else:
-                message = (
-                    f"unknown pc label {control.pc_label!r} on control "
-                    f"{control.name!r}"
-                )
-            self._emit(ViolationKind.LABEL_ERROR, message, control.span, rule="@pc")
-            return self._lattice.bottom
-
-    def _install_default_match_kinds(self, gamma: SecurityContext) -> None:
-        kind = SecurityType(SMatchKind(), self._lattice.bottom)
-        for member in DEFAULT_MATCH_KINDS:
-            gamma.bind(member, kind)
-
-    def _security_type(
-        self, annotated: AnnotatedType, labeler: TypeLabeler, span: SourceSpan
-    ) -> Optional[SecurityType]:
-        try:
-            return labeler.security_type(annotated)
-        except LabelResolutionError as exc:
-            self._emit(ViolationKind.LABEL_ERROR, str(exc), span, rule="labels")
-            return None
-
-    # ------------------------------------------------------------------ declarations (Figure 7)
+        self._analysis.check_control(control, gamma, labeler)
 
     def check_declaration(
         self,
@@ -232,184 +149,7 @@ class IfcChecker:
         labeler: TypeLabeler,
         pc: Label,
     ) -> SecurityContext:
-        if isinstance(decl, d.VarDecl):
-            return self._check_var_decl(decl, gamma, labeler, pc)
-        if isinstance(decl, d.TypedefDecl):
-            labeler.definitions.define(decl.name, decl.ty)
-            return gamma
-        if isinstance(decl, d.HeaderDecl):
-            labeler.definitions.define(
-                decl.name, AnnotatedType(HeaderType(decl.fields), None, decl.span)
-            )
-            return gamma
-        if isinstance(decl, d.StructDecl):
-            labeler.definitions.define(
-                decl.name, AnnotatedType(RecordType(decl.fields), None, decl.span)
-            )
-            return gamma
-        if isinstance(decl, d.MatchKindDecl):
-            kind = SecurityType(SMatchKind(), self._lattice.bottom)
-            for member in decl.members:
-                gamma.bind(member, kind)
-            return gamma
-        if isinstance(decl, d.FunctionDecl):
-            return self._check_function_decl(decl, gamma, labeler, pc)
-        if isinstance(decl, d.TableDecl):
-            return self._check_table_decl(decl, gamma, labeler, pc)
-        self._emit(
-            ViolationKind.TYPE_ERROR,
-            f"unsupported declaration {decl.describe()}",
-            decl.span,
-            rule="decl",
-        )
-        return gamma
-
-    # -- T-VarDecl / T-VarInit ------------------------------------------------
-
-    def _check_var_decl(
-        self,
-        decl: d.VarDecl,
-        gamma: SecurityContext,
-        labeler: TypeLabeler,
-        pc: Label,
-    ) -> SecurityContext:
-        declared = self._security_type(decl.ty, labeler, decl.span)
-        if declared is None:
-            return gamma
-        if decl.init is not None:
-            init_type, _ = self.check_expression(decl.init, gamma, labeler, pc)
-            if init_type is not None and bodies_compatible(declared.body, init_type.body):
-                if not flow_allowed(self._lattice, init_type, declared):
-                    self._emit(
-                        ViolationKind.EXPLICIT_FLOW,
-                        f"initialiser of {decl.name!r} has label "
-                        f"{self._fmt(read_label(self._lattice, init_type))}, which may not "
-                        f"flow into a variable labelled {self._fmt(declared.label)}",
-                        decl.span,
-                        rule="T-VarInit",
-                    )
-        gamma.bind(decl.name, declared)
-        return gamma
-
-    # -- T-FuncDecl -------------------------------------------------------------
-
-    def _check_function_decl(
-        self,
-        decl: d.FunctionDecl,
-        gamma: SecurityContext,
-        labeler: TypeLabeler,
-        pc: Label,
-    ) -> SecurityContext:
-        parameters: List[SParam] = []
-        body_scope = gamma.child()
-        for param in decl.params:
-            sec_type = self._security_type(param.ty, labeler, param.span)
-            if sec_type is None:
-                sec_type = SecurityType(SUnit(), self._lattice.bottom)
-            body_scope.bind(param.name, sec_type)
-            parameters.append(
-                SParam(
-                    param.direction.effective().value,
-                    sec_type,
-                    param.name,
-                    control_plane=param.direction is Direction.NONE,
-                )
-            )
-        if decl.return_type is None:
-            return_type = SecurityType(SUnit(), self._lattice.bottom)
-        else:
-            resolved = self._security_type(decl.return_type, labeler, decl.span)
-            return_type = resolved or SecurityType(SUnit(), self._lattice.bottom)
-        body_scope.bind(SecurityContext.RETURN_KEY, return_type)
-
-        pc_fn = self._infer_write_bound(decl.body, body_scope, labeler)
-        # T-FuncDecl: the body must be well-typed under the inferred pc_fn.
-        self.check_statement(decl.body, body_scope, labeler, pc_fn)
-
-        fn_type = SecurityType(
-            SFunction(tuple(parameters), pc_fn, return_type), self._lattice.bottom
-        )
-        gamma.bind(decl.name, fn_type)
-        self._function_bounds[decl.name] = pc_fn
-        return gamma
-
-    def _infer_write_bound(
-        self, body: s.Block, scope: SecurityContext, labeler: TypeLabeler
-    ) -> Label:
-        """Infer ``pc_fn``: the meet of the labels the body may write at."""
-        self._silent_depth += 1
-        self._write_bounds.append([])
-        try:
-            self.check_statement(body, scope, labeler, self._lattice.bottom)
-        finally:
-            bounds = self._write_bounds.pop()
-            self._silent_depth -= 1
-        return self._lattice.meet_all(bounds)
-
-    # -- T-TblDecl ----------------------------------------------------------------
-
-    def _check_table_decl(
-        self,
-        decl: d.TableDecl,
-        gamma: SecurityContext,
-        labeler: TypeLabeler,
-        pc: Label,
-    ) -> SecurityContext:
-        key_labels: List[Tuple[d.TableKey, Label]] = []
-        for key in decl.keys:
-            key_type, _ = self.check_expression(key.expression, gamma, labeler, pc)
-            if key_type is None:
-                continue
-            key_labels.append((key, read_label(self._lattice, key_type)))
-
-        action_bounds: List[Label] = []
-        for action_ref in decl.actions:
-            bound = self._check_table_action_ref(action_ref, gamma, labeler, key_labels, pc)
-            if bound is not None:
-                action_bounds.append(bound)
-
-        pc_tbl = self._lattice.meet_all(action_bounds)
-        # T-TblDecl also requires χ_k ⊑ pc_tbl; with pc_tbl the meet of the
-        # action bounds this is implied by the per-action checks above, but a
-        # table with no actions still gets the constraint against ⊤ trivially.
-        self._table_bounds[decl.name] = pc_tbl
-        gamma.bind(decl.name, SecurityType(STable(pc_tbl), self._lattice.bottom))
-        return gamma
-
-    def _check_table_action_ref(
-        self,
-        ref: d.ActionRef,
-        gamma: SecurityContext,
-        labeler: TypeLabeler,
-        key_labels: List[Tuple[d.TableKey, Label]],
-        pc: Label,
-    ) -> Optional[Label]:
-        target = gamma.lookup(ref.name)
-        if target is None or not isinstance(target.body, SFunction):
-            # The ordinary checker reports the missing/ill-typed action.
-            return None
-        fn = target.body
-        # Keys act like the guard of a conditional: every key label must be
-        # below the write bound of every action the table may invoke.
-        for key, key_label in key_labels:
-            if not self._lattice.leq(key_label, fn.pc_fn):
-                self._emit(
-                    ViolationKind.TABLE_KEY_FLOW,
-                    f"table key {key.expression.describe()!r} has label "
-                    f"{self._fmt(key_label)}, but action {ref.name!r} writes at level "
-                    f"{self._fmt(fn.pc_fn)}; matching on the key would leak it",
-                    key.span,
-                    rule="T-TblDecl",
-                )
-        # Declaration-time arguments bind to the action's leading parameters.
-        for argument, parameter in zip(ref.arguments, fn.parameters):
-            arg_type, arg_dir = self.check_expression(argument, gamma, labeler, pc)
-            if arg_type is None:
-                continue
-            self._check_argument_flow(argument, arg_type, arg_dir, parameter, ref.name)
-        return fn.pc_fn
-
-    # ------------------------------------------------------------------ statements (Figure 6)
+        return self._analysis.check_declaration(decl, gamma, labeler, pc)
 
     def check_statement(
         self,
@@ -418,158 +158,7 @@ class IfcChecker:
         labeler: TypeLabeler,
         pc: Label,
     ) -> SecurityContext:
-        if isinstance(stmt, s.Block):
-            scope = gamma.child()
-            for inner in stmt.statements:
-                scope = self.check_statement(inner, scope, labeler, pc)
-            return gamma
-        if isinstance(stmt, s.Assign):
-            self._check_assign(stmt, gamma, labeler, pc)
-            return gamma
-        if isinstance(stmt, s.If):
-            self._check_if(stmt, gamma, labeler, pc)
-            return gamma
-        if isinstance(stmt, s.CallStmt):
-            self._check_call_statement(stmt, gamma, labeler, pc)
-            return gamma
-        if isinstance(stmt, s.Exit):
-            self._check_control_signal(stmt.span, "exit", pc, rule="T-Exit")
-            return gamma
-        if isinstance(stmt, s.Return):
-            self._check_return(stmt, gamma, labeler, pc)
-            return gamma
-        if isinstance(stmt, s.VarDeclStmt):
-            return self._check_var_decl(stmt.declaration, gamma, labeler, pc)
-        self._emit(
-            ViolationKind.TYPE_ERROR,
-            f"unsupported statement {stmt.describe()}",
-            stmt.span,
-            rule="stmt",
-        )
-        return gamma
-
-    # -- T-Assign ---------------------------------------------------------------
-
-    def _check_assign(
-        self, stmt: s.Assign, gamma: SecurityContext, labeler: TypeLabeler, pc: Label
-    ) -> None:
-        target_type, target_dir = self.check_expression(stmt.target, gamma, labeler, pc)
-        value_type, _ = self.check_expression(stmt.value, gamma, labeler, pc)
-        if target_type is None or value_type is None:
-            return
-        target_bound = write_label(self._lattice, target_type)
-        self._record_write(target_bound)
-        if target_dir != DIR_INOUT:
-            self._emit(
-                ViolationKind.TYPE_ERROR,
-                f"cannot assign to read-only expression {stmt.target.describe()!r}",
-                stmt.target.span,
-                rule="T-Assign",
-            )
-            return
-        if not bodies_compatible(target_type.body, value_type.body):
-            # The ordinary checker reports the shape mismatch; nothing to add.
-            return
-        if not flow_allowed(self._lattice, value_type, target_type):
-            self._emit(
-                ViolationKind.EXPLICIT_FLOW,
-                f"cannot assign {stmt.value.describe()!r} (label "
-                f"{self._fmt(read_label(self._lattice, value_type))}) to "
-                f"{stmt.target.describe()!r} (label "
-                f"{self._fmt(target_type.label)}): {self._fmt(target_type.label)} <- "
-                f"{self._fmt(read_label(self._lattice, value_type))} is not allowed",
-                stmt.span,
-                rule="T-Assign",
-            )
-        if not self._lattice.leq(pc, target_bound):
-            self._emit(
-                ViolationKind.IMPLICIT_FLOW,
-                f"assignment to {stmt.target.describe()!r} (label "
-                f"{self._fmt(target_bound)}) occurs in a context of level "
-                f"{self._fmt(pc)}; the branch or table key would leak implicitly",
-                stmt.span,
-                rule="T-Assign",
-            )
-
-    # -- T-Cond ------------------------------------------------------------------
-
-    def _check_if(
-        self, stmt: s.If, gamma: SecurityContext, labeler: TypeLabeler, pc: Label
-    ) -> None:
-        guard_type, _ = self.check_expression(stmt.condition, gamma, labeler, pc)
-        guard_label = (
-            read_label(self._lattice, guard_type)
-            if guard_type is not None
-            else self._lattice.bottom
-        )
-        branch_pc = self._lattice.join(pc, guard_label)
-        self.check_statement(stmt.then_branch, gamma, labeler, branch_pc)
-        self.check_statement(stmt.else_branch, gamma, labeler, branch_pc)
-
-    # -- T-FnCallStmt / T-TblCall ---------------------------------------------------
-
-    def _check_call_statement(
-        self, stmt: s.CallStmt, gamma: SecurityContext, labeler: TypeLabeler, pc: Label
-    ) -> None:
-        call = stmt.call
-        callee_type, _ = self.check_expression(call.callee, gamma, labeler, pc)
-        if callee_type is None:
-            return
-        if isinstance(callee_type.body, STable):
-            pc_tbl = callee_type.body.pc_tbl
-            self._record_write(pc_tbl)
-            if not self._lattice.leq(pc, pc_tbl):
-                self._emit(
-                    ViolationKind.IMPLICIT_FLOW,
-                    f"table {call.callee.describe()!r} writes at level "
-                    f"{self._fmt(pc_tbl)} but is applied in a context of level "
-                    f"{self._fmt(pc)}",
-                    stmt.span,
-                    rule="T-TblCall",
-                )
-            return
-        # Ordinary action / function call used as a statement.
-        self.check_expression(call, gamma, labeler, pc)
-
-    # -- T-Exit / T-Return -------------------------------------------------------------
-
-    def _check_control_signal(
-        self, span: SourceSpan, keyword: str, pc: Label, rule: str
-    ) -> None:
-        self._record_write(self._lattice.bottom)
-        if not self._lattice.leq(pc, self._lattice.bottom):
-            self._emit(
-                ViolationKind.CONTROL_SIGNAL,
-                f"{keyword!r} statements only type check under a {self._fmt(self._lattice.bottom)} "
-                f"program counter, but the context has level {self._fmt(pc)}; the control "
-                "signal would leak the guard",
-                span,
-                rule=rule,
-            )
-
-    def _check_return(
-        self, stmt: s.Return, gamma: SecurityContext, labeler: TypeLabeler, pc: Label
-    ) -> None:
-        self._check_control_signal(stmt.span, "return", pc, rule="T-Return")
-        expected = gamma.lookup(SecurityContext.RETURN_KEY)
-        if stmt.value is None or expected is None:
-            return
-        value_type, _ = self.check_expression(stmt.value, gamma, labeler, pc)
-        if value_type is None:
-            return
-        if bodies_compatible(expected.body, value_type.body) and not flow_allowed(
-            self._lattice, value_type, expected
-        ):
-            self._emit(
-                ViolationKind.EXPLICIT_FLOW,
-                f"return value has label "
-                f"{self._fmt(read_label(self._lattice, value_type))}, but the function's "
-                f"return type is labelled {self._fmt(expected.label)}",
-                stmt.span,
-                rule="T-Return",
-            )
-
-    # ------------------------------------------------------------------ expressions (Figure 5)
+        return self._analysis.check_statement(stmt, gamma, labeler, pc)
 
     def check_expression(
         self,
@@ -579,264 +168,7 @@ class IfcChecker:
         pc: Label,
     ) -> Tuple[Optional[SecurityType], str]:
         """Type an expression; returns ``(security type, direction)``."""
-        bottom = self._lattice.bottom
-        if isinstance(expr, e.BoolLiteral):
-            return SecurityType(SBool(), bottom), DIR_IN
-        if isinstance(expr, e.IntLiteral):
-            body: SecurityBody = SInt() if expr.width is None else SBit(expr.width)
-            return SecurityType(body, bottom), DIR_IN
-        if isinstance(expr, e.Var):
-            sec_type = gamma.lookup(expr.name)
-            if sec_type is None:
-                # Unknown variables are the ordinary checker's problem.
-                return None, DIR_IN
-            return sec_type, DIR_INOUT
-        if isinstance(expr, e.BinaryOp):
-            return self._check_binary(expr, gamma, labeler, pc)
-        if isinstance(expr, e.UnaryOp):
-            operand_type, _ = self.check_expression(expr.operand, gamma, labeler, pc)
-            if operand_type is None:
-                return None, DIR_IN
-            return operand_type.with_label(read_label(self._lattice, operand_type)), DIR_IN
-        if isinstance(expr, e.RecordLiteral):
-            fields = []
-            for name, value in expr.fields:
-                value_type, _ = self.check_expression(value, gamma, labeler, pc)
-                if value_type is None:
-                    return None, DIR_IN
-                fields.append((name, value_type))
-            return SecurityType(SRecord(tuple(fields)), bottom), DIR_IN
-        if isinstance(expr, e.FieldAccess):
-            return self._check_field_access(expr, gamma, labeler, pc)
-        if isinstance(expr, e.Index):
-            return self._check_index(expr, gamma, labeler, pc)
-        if isinstance(expr, e.Call):
-            if (
-                isinstance(expr.callee, e.Var)
-                and expr.callee.name in DECLASSIFY_FUNCTIONS
-                and gamma.lookup(expr.callee.name) is None
-            ):
-                return self._check_declassify(expr, gamma, labeler, pc)
-            return self._check_call(expr, gamma, labeler, pc)
-        return None, DIR_IN
-
-    # -- declassify / endorse (extension; off unless explicitly enabled) -------------------
-
-    def _lower_to_bottom(self, sec_type: SecurityType) -> SecurityType:
-        """The same type with every label replaced by ⊥ (a full release)."""
-        bottom = self._lattice.bottom
-        body = sec_type.body
-        if isinstance(body, (SRecord, SHeader)):
-            fields = tuple(
-                (name, self._lower_to_bottom(field)) for name, field in body.fields
-            )
-            lowered: SecurityBody = (
-                SRecord(fields) if isinstance(body, SRecord) else SHeader(fields)
-            )
-            return SecurityType(lowered, bottom)
-        if isinstance(body, SStack):
-            return SecurityType(
-                SStack(self._lower_to_bottom(body.element), body.size), bottom
-            )
-        return SecurityType(body, bottom)
-
-    def _check_declassify(
-        self, expr: e.Call, gamma: SecurityContext, labeler: TypeLabeler, pc: Label
-    ) -> Tuple[Optional[SecurityType], str]:
-        primitive = expr.callee.name  # type: ignore[union-attr]
-        if len(expr.arguments) != 1:
-            self._emit(
-                ViolationKind.TYPE_ERROR,
-                f"{primitive} takes exactly one argument",
-                expr.span,
-                rule="T-Declassify",
-            )
-            return None, DIR_IN
-        argument = expr.arguments[0]
-        arg_type, _ = self.check_expression(argument, gamma, labeler, pc)
-        if arg_type is None:
-            return None, DIR_IN
-        if not self._allow_declassification:
-            self._emit(
-                ViolationKind.DECLASSIFICATION,
-                f"{primitive}({argument.describe()}) is not permitted: run the checker "
-                "with declassification enabled (p4bid --allow-declassify) to accept "
-                "audited releases",
-                expr.span,
-                rule="T-Declassify",
-            )
-            return arg_type, DIR_IN
-        # Releases are only honoured in a public context: otherwise the fact
-        # that the release happened would itself leak the guard.
-        if not self._lattice.leq(pc, self._lattice.bottom):
-            self._emit(
-                ViolationKind.IMPLICIT_FLOW,
-                f"{primitive} may not be used in a context of level {self._fmt(pc)}",
-                expr.span,
-                rule="T-Declassify",
-            )
-        if self._silent_depth == 0:
-            self._declassifications.append(
-                DeclassificationEvent(
-                    primitive,
-                    argument.describe(),
-                    read_label(self._lattice, arg_type),
-                    self._lattice.bottom,
-                    expr.span,
-                )
-            )
-        return self._lower_to_bottom(arg_type), DIR_IN
-
-    # -- T-BinOp ----------------------------------------------------------------------
-
-    def _check_binary(
-        self, expr: e.BinaryOp, gamma: SecurityContext, labeler: TypeLabeler, pc: Label
-    ) -> Tuple[Optional[SecurityType], str]:
-        left_type, _ = self.check_expression(expr.left, gamma, labeler, pc)
-        right_type, _ = self.check_expression(expr.right, gamma, labeler, pc)
-        if left_type is None or right_type is None:
-            return None, DIR_IN
-        label = self._lattice.join(
-            read_label(self._lattice, left_type), read_label(self._lattice, right_type)
-        )
-        result_body = self._binary_result_body(expr.op, left_type.body, right_type.body)
-        return SecurityType(result_body, label), DIR_IN
-
-    @staticmethod
-    def _binary_result_body(
-        op: str, left: SecurityBody, right: SecurityBody
-    ) -> SecurityBody:
-        if op in {"==", "!=", "<", ">", "<=", ">=", "&&", "||"}:
-            return SBool()
-        if isinstance(left, SBit):
-            return left
-        if isinstance(right, SBit):
-            return right
-        if isinstance(left, SInt) or isinstance(right, SInt):
-            return SInt()
-        return left
-
-    # -- T-MemRec / T-MemHdr -------------------------------------------------------------
-
-    def _check_field_access(
-        self, expr: e.FieldAccess, gamma: SecurityContext, labeler: TypeLabeler, pc: Label
-    ) -> Tuple[Optional[SecurityType], str]:
-        target_type, direction = self.check_expression(expr.target, gamma, labeler, pc)
-        if target_type is None:
-            return None, DIR_IN
-        body = target_type.body
-        if not isinstance(body, (SRecord, SHeader)):
-            return None, DIR_IN
-        field_type = body.field_named(expr.field_name)
-        if field_type is None:
-            return None, DIR_IN
-        return field_type, direction
-
-    # -- T-Index ------------------------------------------------------------------------
-
-    def _check_index(
-        self, expr: e.Index, gamma: SecurityContext, labeler: TypeLabeler, pc: Label
-    ) -> Tuple[Optional[SecurityType], str]:
-        array_type, direction = self.check_expression(expr.array, gamma, labeler, pc)
-        index_type, _ = self.check_expression(expr.index, gamma, labeler, pc)
-        if array_type is None or not isinstance(array_type.body, SStack):
-            return None, DIR_IN
-        element = array_type.body.element
-        if index_type is not None:
-            index_label = read_label(self._lattice, index_type)
-            if not self._lattice.leq(index_label, element.label):
-                self._emit(
-                    ViolationKind.EXPLICIT_FLOW,
-                    f"index {expr.index.describe()!r} has label "
-                    f"{self._fmt(index_label)}, which is not below the element label "
-                    f"{self._fmt(element.label)}; the index would leak through the "
-                    "selected element",
-                    expr.span,
-                    rule="T-Index",
-                )
-        return element, direction
-
-    # -- T-Call --------------------------------------------------------------------------
-
-    def _check_call(
-        self, expr: e.Call, gamma: SecurityContext, labeler: TypeLabeler, pc: Label
-    ) -> Tuple[Optional[SecurityType], str]:
-        callee_type, _ = self.check_expression(expr.callee, gamma, labeler, pc)
-        if callee_type is None:
-            return None, DIR_IN
-        if isinstance(callee_type.body, STable):
-            # Table application in expression position; the ordinary checker
-            # flags the position, here we just return unit.
-            return SecurityType(SUnit(), self._lattice.bottom), DIR_IN
-        if not isinstance(callee_type.body, SFunction):
-            return None, DIR_IN
-        fn = callee_type.body
-        self._record_write(fn.pc_fn)
-        if not self._lattice.leq(pc, fn.pc_fn):
-            self._emit(
-                ViolationKind.CALL_CONTEXT,
-                f"{expr.callee.describe()!r} writes at level {self._fmt(fn.pc_fn)} but is "
-                f"called in a context of level {self._fmt(pc)}; the call would leak the "
-                "guard into the callee's writes",
-                expr.span,
-                rule="T-FnCall",
-            )
-        for argument, parameter in zip(expr.arguments, fn.parameters):
-            arg_type, arg_dir = self.check_expression(argument, gamma, labeler, pc)
-            if arg_type is None:
-                continue
-            self._check_argument_flow(
-                argument, arg_type, arg_dir, parameter, expr.callee.describe()
-            )
-        return fn.return_type, DIR_IN
-
-    def _check_argument_flow(
-        self,
-        argument: e.Expression,
-        arg_type: SecurityType,
-        arg_dir: str,
-        parameter: SParam,
-        callee: str,
-    ) -> None:
-        if not bodies_compatible(parameter.sec_type.body, arg_type.body):
-            # Shape mismatch: the ordinary checker reports it.
-            return
-        if parameter.direction in (DIR_INOUT, "out"):
-            self._record_write(write_label(self._lattice, arg_type))
-            if arg_dir != DIR_INOUT:
-                self._emit(
-                    ViolationKind.TYPE_ERROR,
-                    f"argument {argument.describe()!r} for {parameter.direction} parameter "
-                    f"{parameter.name!r} of {callee!r} must be an l-value",
-                    argument.span,
-                    rule="T-Call",
-                )
-                return
-            # T-SubType-In only applies to in-direction expressions: inout
-            # arguments must carry exactly the parameter's labels.
-            if not labels_equal(self._lattice, arg_type, parameter.sec_type):
-                self._emit(
-                    ViolationKind.ARGUMENT_FLOW,
-                    f"inout argument {argument.describe()!r} (label "
-                    f"{self._fmt(read_label(self._lattice, arg_type))}) does not match the "
-                    f"label of parameter {parameter.name!r} "
-                    f"({self._fmt(read_label(self._lattice, parameter.sec_type))}); "
-                    "relabelling writable arguments is unsound",
-                    argument.span,
-                    rule="T-SubType-In",
-                )
-            return
-        # in-direction parameter: subsumption allows raising the label.
-        if not flow_allowed(self._lattice, arg_type, parameter.sec_type):
-            self._emit(
-                ViolationKind.ARGUMENT_FLOW,
-                f"argument {argument.describe()!r} has label "
-                f"{self._fmt(read_label(self._lattice, arg_type))}, which may not flow into "
-                f"parameter {parameter.name!r} of {callee!r} (label "
-                f"{self._fmt(read_label(self._lattice, parameter.sec_type))})",
-                argument.span,
-                rule="T-Call",
-            )
+        return self._analysis.check_expression(expr, gamma, labeler, pc)
 
 
 def check_ifc(

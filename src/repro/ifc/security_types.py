@@ -182,6 +182,10 @@ class SecurityType:
 # ---------------------------------------------------------------------------
 # structural helpers used by the checker
 
+#: Expression directionality, as in the ordinary system.
+DIR_IN = "in"
+DIR_INOUT = "inout"
+
 
 def bodies_compatible(expected: SecurityBody, actual: SecurityBody) -> bool:
     """Structural compatibility of type bodies, ignoring labels.
@@ -281,6 +285,46 @@ def join_into(lattice: Lattice, sec_type: SecurityType, label: Label) -> Securit
             SStack(join_into(lattice, body.element, label), body.size), sec_type.label
         )
     return SecurityType(body, lattice.join(sec_type.label, label))
+
+
+def write_label(lattice: Lattice, sec_type: SecurityType) -> Label:
+    """The meet of every label in ``sec_type``.
+
+    ``pc ⊑ write_label(t)`` holds exactly when ``pc`` is below the label of
+    every component of ``t``, which is the side condition T-Assign imposes
+    on writes to composite l-values.
+    """
+    body = sec_type.body
+    if isinstance(body, (SRecord, SHeader)):
+        return lattice.meet_all(
+            [write_label(lattice, field) for _, field in body.fields] or [sec_type.label]
+        )
+    if isinstance(body, SStack):
+        return write_label(lattice, body.element)
+    return sec_type.label
+
+
+def lower_labels(sec_type: SecurityType, bottom: Label) -> SecurityType:
+    """``sec_type`` with every label replaced by ``bottom``.
+
+    Purely structural (no lattice needed), so it serves both readings of a
+    full declassification release: the concrete checker passes the
+    lattice's ⊥, the symbolic generator the constant-⊥ term.
+    """
+    body = sec_type.body
+    if isinstance(body, (SRecord, SHeader)):
+        fields = tuple(
+            (name, lower_labels(field, bottom)) for name, field in body.fields
+        )
+        lowered: SecurityBody = (
+            SRecord(fields) if isinstance(body, SRecord) else SHeader(fields)
+        )
+        return SecurityType(lowered, bottom)
+    if isinstance(body, SStack):
+        return SecurityType(
+            SStack(lower_labels(body.element, bottom), body.size), bottom
+        )
+    return SecurityType(body, bottom)
 
 
 def read_label(lattice: Lattice, sec_type: SecurityType) -> Label:

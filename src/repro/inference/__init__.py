@@ -10,9 +10,10 @@ fully annotated program that the unmodified checker re-verifies.
 * :mod:`repro.inference.terms` -- label variables and join/meet terms.
 * :mod:`repro.inference.constraints` -- the ``⊑`` constraint IR with
   provenance (source spans, typing rule, violation kind).
-* :mod:`repro.inference.generate` -- the constraint generator mirroring the
-  typing rules, and the :class:`InferenceLabeler` that turns missing or
-  ``infer``-marked annotations into variables.
+* :mod:`repro.inference.generate` -- the constraint generator: a façade
+  over the shared Figure 5–7 traversal (:mod:`repro.flow`) run with the
+  symbolic label algebra, and the :class:`InferenceLabeler` that turns
+  missing or ``infer``-marked annotations into variables.
 * :mod:`repro.inference.solve` -- Kleene least-fixpoint solving plus
   unsatisfiable-core extraction for conflicts.
 * :mod:`repro.inference.graph` -- the propagation-graph subsystem: edges

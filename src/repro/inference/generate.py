@@ -1,10 +1,12 @@
 """Constraint generation: the Figure 5–7 rules, with unknowns.
 
-:class:`ConstraintGenerator` walks the same AST as
-:class:`repro.ifc.checker.IfcChecker` and visits the same side conditions,
-but where the checker *tests* ``χ₁ ⊑ χ₂`` and reports a violation, the
-generator *emits* the comparison as a :class:`~repro.inference.constraints.Constraint`
-over label terms.  Security types are reused unchanged -- their ``label``
+:class:`ConstraintGenerator` visits the same rule sites as
+:class:`repro.ifc.checker.IfcChecker` -- literally: both are façades over
+the single shared traversal :class:`repro.flow.analysis.FlowAnalysis`.
+Where the checker's algebra *tests* ``χ₁ ⊑ χ₂`` and reports a violation,
+the generator's :class:`~repro.flow.symbolic.SymbolicAlgebra` *emits* the
+comparison as a :class:`~repro.inference.constraints.Constraint` over
+label terms.  Security types are reused unchanged -- their ``label``
 slots simply hold :class:`~repro.inference.terms.Term`\\ s instead of
 concrete labels -- so the structural machinery of Figure 4 (field maps,
 body compatibility, stacks) needs no duplication.
@@ -24,28 +26,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field as dataclass_field
 from typing import Dict, List, Optional, Tuple
 
-from repro.ifc.checker import DIR_IN, DIR_INOUT, IfcChecker
-from repro.ifc.context import SecurityContext, SecurityTypeDefs
+from repro.ifc.context import SecurityTypeDefs
 from repro.ifc.convert import LabelResolutionError, TypeLabeler
-from repro.ifc.declassify import DECLASSIFY_FUNCTIONS
-from repro.ifc.errors import IfcDiagnostic, ViolationKind
+from repro.ifc.errors import IfcDiagnostic
 from repro.ifc.security_types import (
-    SBit,
-    SBool,
-    SFunction,
     SHeader,
-    SInt,
-    SMatchKind,
-    SParam,
     SRecord,
     SStack,
-    STable,
-    SUnit,
     SecurityBody,
     SecurityType,
-    bodies_compatible,
 )
-from repro.inference.constraints import Constraint, ConstraintSet
+from repro.inference.constraints import Constraint
 from repro.inference.terms import (
     ConstTerm,
     LabelVar,
@@ -58,13 +49,9 @@ from repro.inference.terms import (
 )
 from repro.lattice.base import Lattice, LatticeError
 from repro.syntax import declarations as d
-from repro.syntax import expressions as e
-from repro.syntax import statements as s
-from repro.syntax.declarations import Direction
 from repro.syntax.program import Program
 from repro.syntax.source import SourceSpan
-from repro.syntax.types import AnnotatedType, HeaderType, RecordType, is_inference_marker
-from repro.typechecker.checker import DEFAULT_MATCH_KINDS
+from repro.syntax.types import AnnotatedType, is_inference_marker
 
 # ---------------------------------------------------------------------------
 # term-level analogues of the security-type helpers
@@ -115,25 +102,6 @@ def term_join_into(lattice: Lattice, sec_type: SecurityType, term: Term) -> Secu
             sec_type.label,
         )
     return SecurityType(body, join_terms(lattice, [sec_type.label, term]))
-
-
-def term_lower_to_bottom(lattice: Lattice, sec_type: SecurityType) -> SecurityType:
-    """Term analogue of the checker's ``_lower_to_bottom`` (declassify)."""
-    bottom = ConstTerm(lattice.bottom)
-    body = sec_type.body
-    if isinstance(body, (SRecord, SHeader)):
-        fields = tuple(
-            (name, term_lower_to_bottom(lattice, f)) for name, f in body.fields
-        )
-        lowered: SecurityBody = (
-            SRecord(fields) if isinstance(body, SRecord) else SHeader(fields)
-        )
-        return SecurityType(lowered, bottom)
-    if isinstance(body, SStack):
-        return SecurityType(
-            SStack(term_lower_to_bottom(lattice, body.element), body.size), bottom
-        )
-    return SecurityType(body, bottom)
 
 
 # ---------------------------------------------------------------------------
@@ -316,750 +284,40 @@ class GenerationResult:
 
 
 class ConstraintGenerator:
-    """Walks a program, mirroring the IFC rules, emitting constraints."""
+    """Walks a program, mirroring the IFC rules, emitting constraints.
+
+    A façade over the shared Figure 5–7 traversal
+    (:class:`repro.flow.analysis.FlowAnalysis`) instantiated with the
+    symbolic label algebra -- the checker runs the *same* traversal with
+    the concrete algebra, so the generated constraints mirror the checked
+    conditions by construction.
+    """
 
     def __init__(
         self, lattice: Lattice, *, allow_declassification: bool = False
     ) -> None:
+        from repro.flow.analysis import FlowAnalysis
+        from repro.flow.symbolic import SymbolicAlgebra
+
         self._lattice = lattice
-        self._allow_declassification = allow_declassification
-        self._supply = VarSupply()
-        self._registry = SiteRegistry(self._supply)
-        self._constraints = ConstraintSet()
-        self._errors: List[IfcDiagnostic] = []
-        self._write_bounds: List[List[Term]] = []
-        #: Spans of declassify uses in the enclosing function body: each one
-        #: obliges ``pc_fn ⊑ ⊥`` (the checker re-walks the body under pc_fn
-        #: and tests exactly that; see _generate_function_decl).
-        self._pc_obligations: List[List[SourceSpan]] = []
-        self._function_bounds: Dict[str, Term] = {}
-        self._table_bounds: Dict[str, Term] = {}
-        self._control_pc_vars: List[Tuple[d.ControlDecl, LabelVar]] = []
-        #: Enclosing control/action names, innermost last (scopes var hints).
-        self._owner: List[str] = []
-        self._bottom = ConstTerm(lattice.bottom)
-
-    # ------------------------------------------------------------------ plumbing
-
-    def _constrain(
-        self,
-        lhs: object,
-        rhs: object,
-        span: SourceSpan,
-        rule: str,
-        kind: ViolationKind,
-        reason: str,
-    ) -> None:
-        lhs_term, rhs_term = as_term(lhs), as_term(rhs)
-        if isinstance(lhs_term, ConstTerm) and isinstance(rhs_term, ConstTerm):
-            if self._lattice.leq(lhs_term.label, rhs_term.label):
-                return  # trivially satisfied; keep the system small
-        elif lhs_term == self._bottom:
-            return  # ⊥ flows anywhere
-        self._constraints.add(Constraint(lhs_term, rhs_term, span, rule, kind, reason))
-
-    def _error(
-        self, kind: ViolationKind, message: str, span: SourceSpan, rule: str
-    ) -> None:
-        self._errors.append(IfcDiagnostic(kind, message, span, rule))
-
-    def _record_write(self, bound: Term) -> None:
-        if self._write_bounds:
-            self._write_bounds[-1].append(bound)
-
-    def _security_type(
-        self, annotated: AnnotatedType, labeler: InferenceLabeler, span: SourceSpan
-    ) -> Optional[SecurityType]:
-        try:
-            return labeler.security_type(annotated)
-        except LabelResolutionError as exc:
-            self._error(ViolationKind.LABEL_ERROR, str(exc), span, rule="labels")
-            return None
-
-    def _read(self, sec_type: SecurityType) -> Term:
-        return term_read_label(self._lattice, sec_type)
-
-    def _write(self, sec_type: SecurityType) -> Term:
-        return term_write_label(self._lattice, sec_type)
-
-    def _join(self, *terms: object) -> Term:
-        return join_terms(self._lattice, terms)
-
-    # ------------------------------------------------------------------ entry point
+        self._algebra = SymbolicAlgebra(
+            lattice, allow_declassification=allow_declassification
+        )
+        self._analysis = FlowAnalysis(self._algebra)
 
     def generate(self, program: Program) -> GenerationResult:
-        delta = SecurityTypeDefs()
-        labeler = InferenceLabeler(self._lattice, delta, self._registry)
-        gamma = SecurityContext()
-        kind = SecurityType(SMatchKind(), self._bottom)
-        for member in DEFAULT_MATCH_KINDS:
-            gamma.bind(member, kind)
-        self._suggest_declaration_hints(program)
-        for decl in program.declarations:
-            gamma = self.generate_declaration(decl, gamma, labeler, self._bottom)
-        for control in program.controls:
-            self.generate_control(control, gamma, labeler)
+        self._analysis.run(program)
+        algebra = self._algebra
         return GenerationResult(
             program,
             self._lattice,
-            self._constraints.as_list(),
-            self._registry.sites(),
-            self._registry,
-            list(self._errors),
-            dict(self._function_bounds),
-            dict(self._table_bounds),
-            list(self._control_pc_vars),
-        )
-
-    def _suggest_declaration_hints(self, program: Program) -> None:
-        """Attach readable hints to the annotation slots of declared types."""
-        for decl in program.iter_declarations():
-            if isinstance(decl, (d.HeaderDecl, d.StructDecl)):
-                for field in decl.fields:
-                    self._registry.suggest_hint(
-                        field.ty, f"field {decl.name}.{field.name}"
-                    )
-            elif isinstance(decl, d.TypedefDecl):
-                self._registry.suggest_hint(decl.ty, f"typedef {decl.name}")
-
-    # ------------------------------------------------------------------ controls
-
-    def generate_control(
-        self,
-        control: d.ControlDecl,
-        gamma: SecurityContext,
-        labeler: InferenceLabeler,
-    ) -> None:
-        pc = self._resolve_control_pc(control)
-        scope = gamma.child()
-        for param in control.params:
-            self._registry.suggest_hint(
-                param.ty, f"parameter {param.name} of control {control.name}"
-            )
-            sec_type = self._security_type(param.ty, labeler, param.span)
-            if sec_type is not None:
-                scope.bind(param.name, sec_type)
-        self._owner.append(control.name)
-        try:
-            for decl in control.local_declarations:
-                scope = self.generate_declaration(decl, scope, labeler, pc)
-            self.generate_statement(control.apply_block, scope, labeler, pc)
-        finally:
-            self._owner.pop()
-
-    def _resolve_control_pc(self, control: d.ControlDecl) -> Term:
-        if control.pc_label is None:
-            return self._bottom
-        try:
-            return ConstTerm(self._lattice.parse_label(control.pc_label))
-        except LatticeError:
-            if is_inference_marker(control.pc_label):
-                var = self._supply.fresh(
-                    f"pc of control {control.name}", control.span
-                )
-                self._control_pc_vars.append((control, var))
-                return VarTerm(var)
-            self._error(
-                ViolationKind.LABEL_ERROR,
-                f"unknown pc label {control.pc_label!r} on control {control.name!r}",
-                control.span,
-                rule="@pc",
-            )
-            return self._bottom
-
-    # ------------------------------------------------------------------ declarations (Figure 7)
-
-    def generate_declaration(
-        self,
-        decl: d.Declaration,
-        gamma: SecurityContext,
-        labeler: InferenceLabeler,
-        pc: Term,
-    ) -> SecurityContext:
-        if isinstance(decl, d.VarDecl):
-            return self._generate_var_decl(decl, gamma, labeler, pc)
-        if isinstance(decl, d.TypedefDecl):
-            labeler.definitions.define(decl.name, decl.ty)
-            return gamma
-        if isinstance(decl, d.HeaderDecl):
-            labeler.definitions.define(
-                decl.name, AnnotatedType(HeaderType(decl.fields), None, decl.span)
-            )
-            return gamma
-        if isinstance(decl, d.StructDecl):
-            labeler.definitions.define(
-                decl.name, AnnotatedType(RecordType(decl.fields), None, decl.span)
-            )
-            return gamma
-        if isinstance(decl, d.MatchKindDecl):
-            kind = SecurityType(SMatchKind(), self._bottom)
-            for member in decl.members:
-                gamma.bind(member, kind)
-            return gamma
-        if isinstance(decl, d.FunctionDecl):
-            return self._generate_function_decl(decl, gamma, labeler)
-        if isinstance(decl, d.TableDecl):
-            return self._generate_table_decl(decl, gamma, labeler, pc)
-        # Unsupported declarations are the (re-run) checker's problem.
-        return gamma
-
-    # -- T-VarDecl / T-VarInit ------------------------------------------------
-
-    def _generate_var_decl(
-        self,
-        decl: d.VarDecl,
-        gamma: SecurityContext,
-        labeler: InferenceLabeler,
-        pc: Term,
-    ) -> SecurityContext:
-        owner = f" in {self._owner[-1]}" if self._owner else ""
-        self._registry.suggest_hint(decl.ty, f"variable {decl.name}{owner}")
-        declared = self._security_type(decl.ty, labeler, decl.span)
-        if declared is None:
-            return gamma
-        if decl.init is not None:
-            init_type, _ = self.generate_expression(decl.init, gamma, labeler, pc)
-            if init_type is not None and bodies_compatible(declared.body, init_type.body):
-                self._emit_flow(
-                    init_type,
-                    declared,
-                    decl.span,
-                    rule="T-VarInit",
-                    kind=ViolationKind.EXPLICIT_FLOW,
-                    reason=f"initialiser of {decl.name!r} flows into its declared label",
-                )
-        gamma.bind(decl.name, declared)
-        return gamma
-
-    # -- T-FuncDecl -----------------------------------------------------------
-
-    def _generate_function_decl(
-        self,
-        decl: d.FunctionDecl,
-        gamma: SecurityContext,
-        labeler: InferenceLabeler,
-    ) -> SecurityContext:
-        parameters: List[SParam] = []
-        body_scope = gamma.child()
-        for param in decl.params:
-            self._registry.suggest_hint(
-                param.ty, f"parameter {param.name} of {decl.name}"
-            )
-            sec_type = self._security_type(param.ty, labeler, param.span)
-            if sec_type is None:
-                sec_type = SecurityType(SUnit(), self._bottom)
-            body_scope.bind(param.name, sec_type)
-            parameters.append(
-                SParam(
-                    param.direction.effective().value,
-                    sec_type,
-                    param.name,
-                    control_plane=param.direction is Direction.NONE,
-                )
-            )
-        if decl.return_type is None:
-            return_type = SecurityType(SUnit(), self._bottom)
-        else:
-            self._registry.suggest_hint(
-                decl.return_type, f"return type of {decl.name}"
-            )
-            resolved = self._security_type(decl.return_type, labeler, decl.span)
-            return_type = resolved or SecurityType(SUnit(), self._bottom)
-        body_scope.bind(SecurityContext.RETURN_KEY, return_type)
-
-        # One walk under a ⊥ pc both collects the write bounds and emits the
-        # body's constraints.  Re-walking under pc_fn (as the checker does)
-        # would only add constraints of the shape ``⨅ targets ⊑ target_i``,
-        # which hold by construction -- except at declassify sites, whose
-        # ``pc ⊑ ⊥`` condition does involve pc_fn; those are collected as
-        # obligations during the walk and emitted against pc_fn below.
-        self._write_bounds.append([])
-        self._pc_obligations.append([])
-        self._owner.append(decl.name)
-        try:
-            self.generate_statement(decl.body, body_scope, labeler, self._bottom)
-        finally:
-            self._owner.pop()
-            obligations = self._pc_obligations.pop()
-            bounds = self._write_bounds.pop()
-        pc_fn = meet_terms(self._lattice, bounds)
-        for span in obligations:
-            self._constrain(
-                pc_fn,
-                self._bottom,
-                span,
-                rule="T-Declassify",
-                kind=ViolationKind.IMPLICIT_FLOW,
-                reason=(
-                    f"declassification inside {decl.name!r} requires the "
-                    "function's write bound pc_fn to be public"
-                ),
-            )
-
-        fn_type = SecurityType(
-            SFunction(tuple(parameters), pc_fn, return_type), self._bottom
-        )
-        gamma.bind(decl.name, fn_type)
-        self._function_bounds[decl.name] = pc_fn
-        return gamma
-
-    # -- T-TblDecl ------------------------------------------------------------
-
-    def _generate_table_decl(
-        self,
-        decl: d.TableDecl,
-        gamma: SecurityContext,
-        labeler: InferenceLabeler,
-        pc: Term,
-    ) -> SecurityContext:
-        key_labels: List[Tuple[d.TableKey, Term]] = []
-        for key in decl.keys:
-            key_type, _ = self.generate_expression(key.expression, gamma, labeler, pc)
-            if key_type is None:
-                continue
-            key_labels.append((key, self._read(key_type)))
-
-        action_bounds: List[Term] = []
-        for action_ref in decl.actions:
-            bound = self._generate_table_action_ref(
-                action_ref, gamma, labeler, key_labels, pc, decl.name
-            )
-            if bound is not None:
-                action_bounds.append(bound)
-
-        pc_tbl = meet_terms(self._lattice, action_bounds)
-        self._table_bounds[decl.name] = pc_tbl
-        gamma.bind(decl.name, SecurityType(STable(pc_tbl), self._bottom))
-        return gamma
-
-    def _generate_table_action_ref(
-        self,
-        ref: d.ActionRef,
-        gamma: SecurityContext,
-        labeler: InferenceLabeler,
-        key_labels: List[Tuple[d.TableKey, Term]],
-        pc: Term,
-        table_name: str,
-    ) -> Optional[Term]:
-        target = gamma.lookup(ref.name)
-        if target is None or not isinstance(target.body, SFunction):
-            return None
-        fn = target.body
-        for key, key_label in key_labels:
-            self._constrain(
-                key_label,
-                fn.pc_fn,
-                key.span,
-                rule="T-TblDecl",
-                kind=ViolationKind.TABLE_KEY_FLOW,
-                reason=(
-                    f"table key {key.expression.describe()!r} of {table_name!r} must "
-                    f"stay below the write bound of action {ref.name!r}"
-                ),
-            )
-        for argument, parameter in zip(ref.arguments, fn.parameters):
-            arg_type, arg_dir = self.generate_expression(argument, gamma, labeler, pc)
-            if arg_type is None:
-                continue
-            self._emit_argument_flow(argument, arg_type, arg_dir, parameter, ref.name)
-        return fn.pc_fn
-
-    # ------------------------------------------------------------------ statements (Figure 6)
-
-    def generate_statement(
-        self,
-        stmt: s.Statement,
-        gamma: SecurityContext,
-        labeler: InferenceLabeler,
-        pc: Term,
-    ) -> SecurityContext:
-        if isinstance(stmt, s.Block):
-            scope = gamma.child()
-            for inner in stmt.statements:
-                scope = self.generate_statement(inner, scope, labeler, pc)
-            return gamma
-        if isinstance(stmt, s.Assign):
-            self._generate_assign(stmt, gamma, labeler, pc)
-            return gamma
-        if isinstance(stmt, s.If):
-            guard_type, _ = self.generate_expression(stmt.condition, gamma, labeler, pc)
-            guard_label = (
-                self._read(guard_type) if guard_type is not None else self._bottom
-            )
-            branch_pc = self._join(pc, guard_label)
-            self.generate_statement(stmt.then_branch, gamma, labeler, branch_pc)
-            self.generate_statement(stmt.else_branch, gamma, labeler, branch_pc)
-            return gamma
-        if isinstance(stmt, s.CallStmt):
-            self._generate_call_statement(stmt, gamma, labeler, pc)
-            return gamma
-        if isinstance(stmt, s.Exit):
-            self._generate_control_signal(stmt.span, "exit", pc, rule="T-Exit")
-            return gamma
-        if isinstance(stmt, s.Return):
-            self._generate_return(stmt, gamma, labeler, pc)
-            return gamma
-        if isinstance(stmt, s.VarDeclStmt):
-            return self._generate_var_decl(stmt.declaration, gamma, labeler, pc)
-        return gamma
-
-    # -- T-Assign --------------------------------------------------------------
-
-    def _generate_assign(
-        self, stmt: s.Assign, gamma: SecurityContext, labeler: InferenceLabeler, pc: Term
-    ) -> None:
-        target_type, target_dir = self.generate_expression(
-            stmt.target, gamma, labeler, pc
-        )
-        value_type, _ = self.generate_expression(stmt.value, gamma, labeler, pc)
-        if target_type is None or value_type is None:
-            return
-        target_bound = self._write(target_type)
-        self._record_write(target_bound)
-        if target_dir != DIR_INOUT:
-            # Assignment to a read-only expression: the checker's TYPE_ERROR,
-            # not a flow -- emitting constraints here would propagate labels
-            # along an assignment that can never execute.
-            return
-        if not bodies_compatible(target_type.body, value_type.body):
-            # Shape mismatch: the checker returns before its flow and pc
-            # checks too; constraints here would blame labels for what is
-            # really a type error.
-            return
-        self._emit_flow(
-            value_type,
-            target_type,
-            stmt.span,
-            rule="T-Assign",
-            kind=ViolationKind.EXPLICIT_FLOW,
-            reason=(
-                f"{stmt.value.describe()!r} flows into {stmt.target.describe()!r}"
-            ),
-        )
-        self._constrain(
-            pc,
-            target_bound,
-            stmt.span,
-            rule="T-Assign",
-            kind=ViolationKind.IMPLICIT_FLOW,
-            reason=(
-                f"assignment to {stmt.target.describe()!r} must be writable at "
-                "the level of the surrounding branch or table key"
-            ),
-        )
-
-    # -- T-FnCallStmt / T-TblCall ----------------------------------------------
-
-    def _generate_call_statement(
-        self, stmt: s.CallStmt, gamma: SecurityContext, labeler: InferenceLabeler, pc: Term
-    ) -> None:
-        call = stmt.call
-        callee_type, _ = self.generate_expression(call.callee, gamma, labeler, pc)
-        if callee_type is None:
-            return
-        if isinstance(callee_type.body, STable):
-            pc_tbl = as_term(callee_type.body.pc_tbl)
-            self._record_write(pc_tbl)
-            self._constrain(
-                pc,
-                pc_tbl,
-                stmt.span,
-                rule="T-TblCall",
-                kind=ViolationKind.IMPLICIT_FLOW,
-                reason=(
-                    f"table {call.callee.describe()!r} is applied in a guarded "
-                    "context; its write bound must dominate the guard"
-                ),
-            )
-            return
-        self.generate_expression(call, gamma, labeler, pc)
-
-    # -- T-Exit / T-Return -------------------------------------------------------
-
-    def _generate_control_signal(
-        self, span: SourceSpan, keyword: str, pc: Term, rule: str
-    ) -> None:
-        self._record_write(self._bottom)
-        self._constrain(
-            pc,
-            self._bottom,
-            span,
-            rule=rule,
-            kind=ViolationKind.CONTROL_SIGNAL,
-            reason=f"{keyword!r} statements only type check under a public pc",
-        )
-
-    def _generate_return(
-        self, stmt: s.Return, gamma: SecurityContext, labeler: InferenceLabeler, pc: Term
-    ) -> None:
-        self._generate_control_signal(stmt.span, "return", pc, rule="T-Return")
-        expected = gamma.lookup(SecurityContext.RETURN_KEY)
-        if stmt.value is None or expected is None:
-            return
-        value_type, _ = self.generate_expression(stmt.value, gamma, labeler, pc)
-        if value_type is None:
-            return
-        if bodies_compatible(expected.body, value_type.body):
-            self._emit_flow(
-                value_type,
-                expected,
-                stmt.span,
-                rule="T-Return",
-                kind=ViolationKind.EXPLICIT_FLOW,
-                reason="return value flows into the function's return label",
-            )
-
-    # ------------------------------------------------------------------ expressions (Figure 5)
-
-    def generate_expression(
-        self,
-        expr: e.Expression,
-        gamma: SecurityContext,
-        labeler: InferenceLabeler,
-        pc: Term,
-    ) -> Tuple[Optional[SecurityType], str]:
-        bottom = self._bottom
-        if isinstance(expr, e.BoolLiteral):
-            return SecurityType(SBool(), bottom), DIR_IN
-        if isinstance(expr, e.IntLiteral):
-            body: SecurityBody = SInt() if expr.width is None else SBit(expr.width)
-            return SecurityType(body, bottom), DIR_IN
-        if isinstance(expr, e.Var):
-            sec_type = gamma.lookup(expr.name)
-            if sec_type is None:
-                return None, DIR_IN
-            return sec_type, DIR_INOUT
-        if isinstance(expr, e.BinaryOp):
-            left_type, _ = self.generate_expression(expr.left, gamma, labeler, pc)
-            right_type, _ = self.generate_expression(expr.right, gamma, labeler, pc)
-            if left_type is None or right_type is None:
-                return None, DIR_IN
-            label = self._join(self._read(left_type), self._read(right_type))
-            result_body = IfcChecker._binary_result_body(
-                expr.op, left_type.body, right_type.body
-            )
-            return SecurityType(result_body, label), DIR_IN
-        if isinstance(expr, e.UnaryOp):
-            operand_type, _ = self.generate_expression(expr.operand, gamma, labeler, pc)
-            if operand_type is None:
-                return None, DIR_IN
-            return operand_type.with_label(self._read(operand_type)), DIR_IN
-        if isinstance(expr, e.RecordLiteral):
-            fields = []
-            for name, value in expr.fields:
-                value_type, _ = self.generate_expression(value, gamma, labeler, pc)
-                if value_type is None:
-                    return None, DIR_IN
-                fields.append((name, value_type))
-            return SecurityType(SRecord(tuple(fields)), bottom), DIR_IN
-        if isinstance(expr, e.FieldAccess):
-            target_type, direction = self.generate_expression(
-                expr.target, gamma, labeler, pc
-            )
-            if target_type is None or not isinstance(
-                target_type.body, (SRecord, SHeader)
-            ):
-                return None, DIR_IN
-            field_type = target_type.body.field_named(expr.field_name)
-            if field_type is None:
-                return None, DIR_IN
-            return field_type, direction
-        if isinstance(expr, e.Index):
-            return self._generate_index(expr, gamma, labeler, pc)
-        if isinstance(expr, e.Call):
-            if (
-                isinstance(expr.callee, e.Var)
-                and expr.callee.name in DECLASSIFY_FUNCTIONS
-                and gamma.lookup(expr.callee.name) is None
-            ):
-                return self._generate_declassify(expr, gamma, labeler, pc)
-            return self._generate_call(expr, gamma, labeler, pc)
-        return None, DIR_IN
-
-    # -- T-Index -----------------------------------------------------------------
-
-    def _generate_index(
-        self, expr: e.Index, gamma: SecurityContext, labeler: InferenceLabeler, pc: Term
-    ) -> Tuple[Optional[SecurityType], str]:
-        array_type, direction = self.generate_expression(expr.array, gamma, labeler, pc)
-        index_type, _ = self.generate_expression(expr.index, gamma, labeler, pc)
-        if array_type is None or not isinstance(array_type.body, SStack):
-            return None, DIR_IN
-        element = array_type.body.element
-        if index_type is not None:
-            self._constrain(
-                self._read(index_type),
-                as_term(element.label),
-                expr.span,
-                rule="T-Index",
-                kind=ViolationKind.EXPLICIT_FLOW,
-                reason=(
-                    f"index {expr.index.describe()!r} leaks through the selected "
-                    "stack element"
-                ),
-            )
-        return element, direction
-
-    # -- declassify / endorse ------------------------------------------------------
-
-    def _generate_declassify(
-        self, expr: e.Call, gamma: SecurityContext, labeler: InferenceLabeler, pc: Term
-    ) -> Tuple[Optional[SecurityType], str]:
-        primitive = expr.callee.name  # type: ignore[union-attr]
-        if len(expr.arguments) != 1:
-            self._error(
-                ViolationKind.TYPE_ERROR,
-                f"{primitive} takes exactly one argument",
-                expr.span,
-                rule="T-Declassify",
-            )
-            return None, DIR_IN
-        argument = expr.arguments[0]
-        arg_type, _ = self.generate_expression(argument, gamma, labeler, pc)
-        if arg_type is None:
-            return None, DIR_IN
-        if not self._allow_declassification:
-            self._error(
-                ViolationKind.DECLASSIFICATION,
-                f"{primitive}({argument.describe()}) is not permitted: run the "
-                "checker with declassification enabled (p4bid --allow-declassify) "
-                "to accept audited releases",
-                expr.span,
-                rule="T-Declassify",
-            )
-            return arg_type, DIR_IN
-        self._constrain(
-            pc,
-            self._bottom,
-            expr.span,
-            rule="T-Declassify",
-            kind=ViolationKind.IMPLICIT_FLOW,
-            reason=f"{primitive} may only be used in a public context",
-        )
-        if self._pc_obligations:
-            self._pc_obligations[-1].append(expr.span)
-        return term_lower_to_bottom(self._lattice, arg_type), DIR_IN
-
-    # -- T-Call --------------------------------------------------------------------
-
-    def _generate_call(
-        self, expr: e.Call, gamma: SecurityContext, labeler: InferenceLabeler, pc: Term
-    ) -> Tuple[Optional[SecurityType], str]:
-        callee_type, _ = self.generate_expression(expr.callee, gamma, labeler, pc)
-        if callee_type is None:
-            return None, DIR_IN
-        if isinstance(callee_type.body, STable):
-            return SecurityType(SUnit(), self._bottom), DIR_IN
-        if not isinstance(callee_type.body, SFunction):
-            return None, DIR_IN
-        fn = callee_type.body
-        self._record_write(fn.pc_fn)
-        self._constrain(
-            pc,
-            fn.pc_fn,
-            expr.span,
-            rule="T-FnCall",
-            kind=ViolationKind.CALL_CONTEXT,
-            reason=(
-                f"{expr.callee.describe()!r} is called in a guarded context; its "
-                "write bound must dominate the guard"
-            ),
-        )
-        for argument, parameter in zip(expr.arguments, fn.parameters):
-            arg_type, arg_dir = self.generate_expression(argument, gamma, labeler, pc)
-            if arg_type is None:
-                continue
-            self._emit_argument_flow(
-                argument, arg_type, arg_dir, parameter, expr.callee.describe()
-            )
-        return fn.return_type, DIR_IN
-
-    def _emit_argument_flow(
-        self,
-        argument: e.Expression,
-        arg_type: SecurityType,
-        arg_dir: str,
-        parameter: SParam,
-        callee: str,
-    ) -> None:
-        if not bodies_compatible(parameter.sec_type.body, arg_type.body):
-            return
-        if parameter.direction in (DIR_INOUT, "out"):
-            self._record_write(self._write(arg_type))
-            if arg_dir != DIR_INOUT:
-                return  # not an l-value: the checker's TYPE_ERROR, not ours
-            # T-SubType-In forbids relabelling writable arguments: equality.
-            reason = (
-                f"inout argument {argument.describe()!r} must carry exactly the "
-                f"label of parameter {parameter.name!r} of {callee!r}"
-            )
-            self._emit_flow(
-                arg_type,
-                parameter.sec_type,
-                argument.span,
-                rule="T-SubType-In",
-                kind=ViolationKind.ARGUMENT_FLOW,
-                reason=reason,
-            )
-            self._emit_flow(
-                parameter.sec_type,
-                arg_type,
-                argument.span,
-                rule="T-SubType-In",
-                kind=ViolationKind.ARGUMENT_FLOW,
-                reason=reason,
-            )
-            return
-        self._emit_flow(
-            arg_type,
-            parameter.sec_type,
-            argument.span,
-            rule="T-Call",
-            kind=ViolationKind.ARGUMENT_FLOW,
-            reason=(
-                f"argument {argument.describe()!r} flows into parameter "
-                f"{parameter.name!r} of {callee!r}"
-            ),
-        )
-
-    # ------------------------------------------------------------------ flows
-
-    def _emit_flow(
-        self,
-        source: SecurityType,
-        destination: SecurityType,
-        span: SourceSpan,
-        *,
-        rule: str,
-        kind: ViolationKind,
-        reason: str,
-    ) -> None:
-        """Term analogue of ``flow_allowed``: one constraint per leaf."""
-        src_body, dst_body = source.body, destination.body
-        if isinstance(dst_body, (SRecord, SHeader)) and type(src_body) is type(dst_body):
-            src_map = src_body.field_map()
-            for name, dst_field in dst_body.fields:
-                src_field = src_map.get(name)
-                if src_field is None:
-                    return
-                self._emit_flow(
-                    src_field, dst_field, span, rule=rule, kind=kind, reason=reason
-                )
-            return
-        if isinstance(dst_body, SStack) and isinstance(src_body, SStack):
-            if dst_body.size != src_body.size:
-                return
-            self._emit_flow(
-                src_body.element,
-                dst_body.element,
-                span,
-                rule=rule,
-                kind=kind,
-                reason=reason,
-            )
-            return
-        self._constrain(
-            as_term(source.label), as_term(destination.label), span, rule, kind, reason
+            algebra.constraints.as_list(),
+            algebra.registry.sites(),
+            algebra.registry,
+            list(algebra.errors),
+            dict(self._analysis.function_bounds),
+            dict(self._analysis.table_bounds),
+            list(algebra.control_pc_vars),
         )
 
 
