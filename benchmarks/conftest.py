@@ -9,6 +9,7 @@ pytest-benchmark's own timing table.
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
@@ -30,6 +31,32 @@ def record_table(results_dir):
         path = results_dir / name
         path.write_text(text, encoding="utf-8")
         print(f"\n--- {name} ---\n{text}")
+        return path
+
+    return write
+
+
+@pytest.fixture
+def record_json(results_dir):
+    """Merge keys into a machine-readable JSON artefact (``BENCH_*.json``).
+
+    Each test contributes its own top-level keys; merging (rather than
+    overwriting) lets several tests build one artefact regardless of which
+    subset of them ran.
+    """
+
+    def write(name: str, payload: dict) -> Path:
+        path = results_dir / name
+        merged = {}
+        if path.exists():
+            try:
+                merged = json.loads(path.read_text(encoding="utf-8"))
+            except ValueError:
+                merged = {}
+        merged.update(payload)
+        path.write_text(
+            json.dumps(merged, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
         return path
 
     return write

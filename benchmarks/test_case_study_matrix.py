@@ -57,3 +57,40 @@ def test_case_study_matrix(benchmark, record_table):
         for expected in case.expected_violations:
             assert expected.value in kinds, (case.name, expected.value, kinds)
     record_table("case_study_matrix.txt", "\n".join(lines))
+
+
+def test_case_study_bench_artifact(record_json):
+    """``BENCH_casestudies.json``: per-case verdicts, phase timings (ms),
+    and constraint counts, machine-readable for CI artefact diffing.
+
+    The secure variant is run with ``--infer`` so the artefact also records
+    the constraint-system size and the ``solve`` sub-phase duration.
+    """
+    payload = {}
+    for case in CASES:
+        secure = check_source(case.secure_source, case.lattice_name, infer=True)
+        insecure = check_source(case.insecure_source, case.lattice_name)
+        assert secure.ok, case.name
+        assert not insecure.ok, case.name
+        inference = secure.inference_result
+        timing = secure.timing
+        payload[case.name] = {
+            "section": case.section,
+            "lattice": case.lattice_name,
+            "secure_accepted": secure.ok,
+            "insecure_rejected": not insecure.ok,
+            "violation_kinds": sorted(
+                {d.kind.value for d in insecure.ifc_diagnostics}
+            ),
+            "constraints": inference.constraint_count,
+            "label_variables": inference.variable_count,
+            "timing_ms": {
+                "parse": round(timing.parse_ms, 3),
+                "core": round(timing.core_ms, 3),
+                "infer": round(timing.infer_ms, 3),
+                "solve": round(timing.solve_ms, 3),
+                "ifc": round(timing.ifc_ms, 3),
+                "total": round(timing.total_ms, 3),
+            },
+        }
+    record_json("BENCH_casestudies.json", payload)

@@ -71,7 +71,16 @@ def cycle_system():
     return _system(scc_cycle_program(CYCLE_COUNT, CYCLE_LENGTH))
 
 
-def test_deep_chain_scc_beats_worklist(deep_system, record_table):
+def _bench_entry(solution, ms):
+    """pytest-agnostic numbers for the ``BENCH_solver.json`` artefact."""
+    return {
+        "pops": solution.iterations,
+        "ms": round(ms, 3),
+        "pops_per_sec": round(solution.iterations / (ms / 1000.0), 1) if ms else None,
+    }
+
+
+def test_deep_chain_scc_beats_worklist(deep_system, record_table, record_json):
     """Acyclic 10k-edge chain: one pass, strictly fewer pops than the seed."""
     lattice, constraints = deep_system
     assert len(constraints) >= CONSTRAINT_FLOOR
@@ -106,9 +115,22 @@ def test_deep_chain_scc_beats_worklist(deep_system, record_table):
             ]
         ),
     )
+    record_json(
+        "BENCH_solver.json",
+        {
+            "deep_chain": {
+                "smoke": SMOKE,
+                "depth": DEEP_DEPTH,
+                "constraints": len(constraints),
+                "sccs": scc.stats.scc_count,
+                "scc_condensed": _bench_entry(scc, scc_ms),
+                "seed_worklist": _bench_entry(seed, seed_ms),
+            }
+        },
+    )
 
 
-def test_cycle_program_confines_iteration(cycle_system, record_table):
+def test_cycle_program_confines_iteration(cycle_system, record_table, record_json):
     """Ring-structured SCCs: iteration stays local, pops stay below seed."""
     lattice, constraints = cycle_system
     assert len(constraints) >= CONSTRAINT_FLOOR
@@ -142,9 +164,23 @@ def test_cycle_program_confines_iteration(cycle_system, record_table):
             ]
         ),
     )
+    record_json(
+        "BENCH_solver.json",
+        {
+            "scc_rings": {
+                "smoke": SMOKE,
+                "cycles": CYCLE_COUNT,
+                "cycle_length": CYCLE_LENGTH,
+                "constraints": len(constraints),
+                "max_passes": scc.stats.max_passes,
+                "scc_condensed": _bench_entry(scc, scc_ms),
+                "seed_worklist": _bench_entry(seed, seed_ms),
+            }
+        },
+    )
 
 
-def test_incremental_resolve_visits_only_the_cone(record_table):
+def test_incremental_resolve_visits_only_the_cone(record_table, record_json):
     """A single-slot edit near the tail re-visits only its cone of influence."""
     lattice = TwoPointLattice()
     supply = VarSupply()
@@ -194,9 +230,23 @@ def test_incremental_resolve_visits_only_the_cone(record_table):
             ]
         ),
     )
+    record_json(
+        "BENCH_solver.json",
+        {
+            "incremental_resolve": {
+                "smoke": SMOKE,
+                "chain_length": length,
+                "full_edge_visits": full_visits,
+                "incremental_edge_visits": incremental.stats.edges_visited,
+                "cone_size": tail,
+                "full_solve_ms": round(full.stats.solve_ms, 3),
+                "incremental_solve_ms": round(incremental.stats.solve_ms, 3),
+            }
+        },
+    )
 
 
-def test_unsat_core_extraction_scales(record_table):
+def test_unsat_core_extraction_scales(record_table, record_json):
     """A leaky 10k-chain still yields a complete source-to-sink core fast."""
     depth = DEEP_DEPTH // 2
     lattice, constraints = _system(
@@ -212,4 +262,16 @@ def test_unsat_core_extraction_scales(record_table):
         "solver_unsat_core.txt",
         f"Unsat core over a {depth}-deep leak: {len(conflict.core)} "
         f"constraint(s) in {ms:.1f} ms",
+    )
+    record_json(
+        "BENCH_solver.json",
+        {
+            "unsat_core": {
+                "smoke": SMOKE,
+                "depth": depth,
+                "constraints": len(constraints),
+                "core_size": len(conflict.core),
+                "ms": round(ms, 3),
+            }
+        },
     )

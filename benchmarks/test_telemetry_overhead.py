@@ -1,0 +1,179 @@
+"""The telemetry overhead guard: disabled tracing must cost ~nothing.
+
+``repro.telemetry`` is disabled by default, and the instrumented hot paths
+(the SCC propagation loop, the per-rule-site hooks of the flow analysis)
+promise to pay at most one ``enabled`` branch when it stays disabled.
+Wall-clock comparisons on shared CI runners are noisy, so the **hard**
+guarantees here are structural:
+
+* an :class:`ExplodingRecorder` -- disabled, but raising from ``count`` /
+  ``observe`` -- survives a full solve and a full ``--infer`` pipeline run,
+  proving every metric call sits behind an ``if recorder.enabled`` guard;
+* the number of ``span()`` calls under a disabled recorder is *independent
+  of problem size*: coarse stage spans only, never one per component, edge,
+  or rule site.
+
+A timing comparison (median of interleaved rounds, generous margin) backs
+these up: the instrumented-but-disabled :meth:`PropagationGraph.propagate`
+must stay close to a direct uninstrumented schedule over the same
+components.  The measured ratio lands in ``BENCH_telemetry.json`` either
+way, so CI artefacts track the trend even while the assertion stays slack.
+
+Runs in the CI smoke job (``P4BID_SOLVER_BENCH_SMOKE=1``) as a hard-fail
+step: an unguarded counter in a hot path fails fast, deterministically.
+"""
+
+from __future__ import annotations
+
+import os
+import statistics
+import time
+
+from repro.frontend.parser import parse_program
+from repro.inference import generate_constraints
+from repro.inference.graph import PropagationGraph
+from repro.lattice.two_point import TwoPointLattice
+from repro.synth import deep_dataflow_program
+from repro.telemetry import Recorder, TraceRecorder, use_recorder
+from repro.tool.pipeline import check_source
+
+SMOKE = os.environ.get("P4BID_SOLVER_BENCH_SMOKE", "") not in {"", "0"}
+DEPTH = 300 if SMOKE else 3_000
+ROUNDS = 5
+
+
+class ExplodingRecorder(Recorder):
+    """Disabled recorder whose metric hooks raise.
+
+    Any ``count``/``observe`` reaching it means a hot path skipped its
+    ``enabled`` guard -- the exact regression this suite exists to catch.
+    """
+
+    __slots__ = ("span_calls",)
+
+    def __init__(self) -> None:
+        self.span_calls = 0
+
+    def span(self, name, **attrs):
+        self.span_calls += 1
+        return super().span(name, **attrs)
+
+    def count(self, name, amount=1):
+        raise AssertionError(f"count({name!r}) reached a disabled recorder")
+
+    def observe(self, name, value):
+        raise AssertionError(f"observe({name!r}) reached a disabled recorder")
+
+
+def _graph(depth: int):
+    lattice = TwoPointLattice()
+    generation = generate_constraints(
+        parse_program(deep_dataflow_program(depth)), lattice
+    )
+    assert not generation.errors
+    return PropagationGraph(lattice, generation.constraints)
+
+
+def _solve_spans(depth: int) -> int:
+    """How many spans a build+solve opens under a disabled recorder."""
+    recorder = ExplodingRecorder()
+    with use_recorder(recorder):
+        solution = _graph(depth).solve()
+    assert solution.ok
+    return recorder.span_calls
+
+
+def test_disabled_solve_span_count_is_size_independent(record_json):
+    """Coarse stage spans only: the count must not grow with the system."""
+    small = _solve_spans(DEPTH // 10)
+    large = _solve_spans(DEPTH)
+    assert small == large, (
+        f"span calls grew with problem size ({small} -> {large}): "
+        "a per-component or per-edge span escaped its enabled guard"
+    )
+    assert large <= 12
+    record_json(
+        "BENCH_telemetry.json", {"disabled_solve_span_calls": large, "smoke": SMOKE}
+    )
+
+
+def test_disabled_pipeline_never_calls_metric_hooks():
+    """Full ``--infer`` pipeline under an exploding disabled recorder.
+
+    Exercises every instrumented layer at once: rule-site hooks in the
+    flow analysis, constraint emission, graph build, propagation, conflict
+    checks, and the pipeline's projected solve span.
+    """
+    source = deep_dataflow_program(DEPTH // 2)
+    with use_recorder(ExplodingRecorder()):
+        report = check_source(source, infer=True)
+    assert report.ok
+
+
+def test_disabled_propagate_overhead_within_noise(record_json):
+    """Instrumented-but-disabled propagate vs a direct component sweep."""
+    graph = _graph(DEPTH)
+
+    def run_instrumented() -> float:
+        assignment = graph.fresh_assignment()
+        stats = graph._new_stats()
+        start = time.perf_counter()
+        graph.propagate(assignment, stats)
+        return time.perf_counter() - start
+
+    def run_reference() -> float:
+        assignment = graph.fresh_assignment()
+        stats = graph._new_stats()
+        start = time.perf_counter()
+        for comp_index in range(len(graph.components)):
+            graph._run_component(comp_index, assignment, stats)
+        return time.perf_counter() - start
+
+    # Warm up, then interleave so drift hits both sides equally.
+    run_reference(), run_instrumented()
+    reference, instrumented = [], []
+    for _ in range(ROUNDS):
+        reference.append(run_reference())
+        instrumented.append(run_instrumented())
+    ref_ms = statistics.median(reference) * 1000.0
+    inst_ms = statistics.median(instrumented) * 1000.0
+    # Generous margin plus an absolute floor: the disabled path adds one
+    # ContextVar read and one branch per propagate() *call*, not per edge.
+    assert inst_ms <= ref_ms * 1.5 + 2.0, (
+        f"disabled propagate {inst_ms:.2f} ms vs reference {ref_ms:.2f} ms"
+    )
+    record_json(
+        "BENCH_telemetry.json",
+        {
+            "propagate_disabled_ms": round(inst_ms, 3),
+            "propagate_reference_ms": round(ref_ms, 3),
+            "disabled_overhead_ratio": round(inst_ms / ref_ms, 3) if ref_ms else None,
+        },
+    )
+
+
+def test_enabled_tracing_cost_is_recorded(record_json):
+    """Informational: what full tracing costs (no assertion on the ratio)."""
+    graph = _graph(DEPTH)
+
+    def timed_solve() -> float:
+        start = time.perf_counter()
+        solution = graph.solve()
+        assert solution.ok
+        return (time.perf_counter() - start) * 1000.0
+
+    disabled_ms = statistics.median(timed_solve() for _ in range(ROUNDS))
+    recorder = TraceRecorder()
+    with use_recorder(recorder):
+        enabled_ms = statistics.median(timed_solve() for _ in range(ROUNDS))
+    assert recorder.spans_named("solver.solve")  # it really traced
+    record_json(
+        "BENCH_telemetry.json",
+        {
+            "solve_disabled_ms": round(disabled_ms, 3),
+            "solve_traced_ms": round(enabled_ms, 3),
+            "traced_overhead_ratio": (
+                round(enabled_ms / disabled_ms, 3) if disabled_ms else None
+            ),
+        },
+    )

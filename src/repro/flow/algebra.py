@@ -40,6 +40,7 @@ from repro.ifc.convert import TypeLabeler
 from repro.ifc.errors import ViolationKind
 from repro.ifc.security_types import SecurityType, lower_labels
 from repro.lattice.base import Lattice
+from repro.telemetry.recorder import current_recorder
 from repro.syntax import declarations as d
 from repro.syntax.source import SourceSpan
 from repro.syntax.types import AnnotatedType
@@ -95,6 +96,11 @@ class LabelAlgebra(ABC):
     def __init__(self, lattice: Lattice, *, allow_declassification: bool = False) -> None:
         self.lattice = lattice
         self.allow_declassification = allow_declassification
+        #: The ambient telemetry recorder, captured once per walk.  The
+        #: ``require_*`` implementations report each rule-site application
+        #: through :meth:`note_site`; with the default no-op recorder the
+        #: cost is one attribute test per site.
+        self.telemetry = current_recorder()
 
     # ------------------------------------------------------------------ carrier
 
@@ -138,6 +144,18 @@ class LabelAlgebra(ABC):
         """The pc a ``@pc``-annotated control runs under (⊥ when absent)."""
 
     # ------------------------------------------------------------------ rule sites
+
+    def note_site(self, site: RuleSite) -> None:
+        """Count one rule-site application (``flow.site.<rule>``).
+
+        The single instrumentation point both interpretations share: every
+        ``require_*`` implementation calls it on entry, so the concrete
+        checker and the symbolic generator report the same per-rule
+        traffic to whichever recorder is active.
+        """
+        recorder = self.telemetry
+        if recorder.enabled:
+            recorder.count("flow.site." + site.rule)
 
     @abstractmethod
     def require_leq(self, lhs, rhs, site: RuleSite) -> None:

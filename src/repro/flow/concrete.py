@@ -95,6 +95,7 @@ class ConcreteAlgebra(LabelAlgebra):
     # ------------------------------------------------------------------ rule sites
 
     def require_leq(self, lhs: Label, rhs: Label, site: RuleSite) -> None:
+        self.note_site(site)
         if not self.lattice.leq(lhs, rhs):
             self._emit(
                 site.kind, site.render(self.lattice, lhs=lhs, rhs=rhs), site.span, site.rule
@@ -103,6 +104,7 @@ class ConcreteAlgebra(LabelAlgebra):
     def require_flow(
         self, source: SecurityType, destination: SecurityType, site: RuleSite
     ) -> None:
+        self.note_site(site)
         if not flow_allowed(self.lattice, source, destination):
             self._emit(
                 site.kind,
@@ -119,6 +121,7 @@ class ConcreteAlgebra(LabelAlgebra):
     def require_labels_equal(
         self, left: SecurityType, right: SecurityType, site: RuleSite
     ) -> None:
+        self.note_site(site)
         if not labels_equal(self.lattice, left, right):
             self._emit(
                 site.kind,

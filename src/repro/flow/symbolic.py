@@ -129,16 +129,26 @@ class SymbolicAlgebra(LabelAlgebra):
                 return  # trivially satisfied; keep the system small
         elif lhs_term == self._bottom:
             return  # ⊥ flows anywhere
+        recorder = self.telemetry
+        if recorder.enabled:
+            recorder.count("constraints.emitted." + site.rule)
         self.constraints.add(
             Constraint(lhs_term, rhs_term, site.span, site.rule, site.kind, site.reason)
         )
 
     def require_leq(self, lhs: object, rhs: object, site: RuleSite) -> None:
+        self.note_site(site)
         self._constrain(lhs, rhs, site)
         if site.pc_obligation and self._pc_obligations:
             self._pc_obligations[-1].append(site.span)
 
     def require_flow(
+        self, source: SecurityType, destination: SecurityType, site: RuleSite
+    ) -> None:
+        self.note_site(site)
+        self._flow(source, destination, site)
+
+    def _flow(
         self, source: SecurityType, destination: SecurityType, site: RuleSite
     ) -> None:
         """Term analogue of ``flow_allowed``: one constraint per leaf."""
@@ -149,21 +159,22 @@ class SymbolicAlgebra(LabelAlgebra):
                 src_field = src_map.get(name)
                 if src_field is None:
                     return
-                self.require_flow(src_field, dst_field, site)
+                self._flow(src_field, dst_field, site)
             return
         if isinstance(dst_body, SStack) and isinstance(src_body, SStack):
             if dst_body.size != src_body.size:
                 return
-            self.require_flow(src_body.element, dst_body.element, site)
+            self._flow(src_body.element, dst_body.element, site)
             return
         self._constrain(source.label, destination.label, site)
 
     def require_labels_equal(
         self, left: SecurityType, right: SecurityType, site: RuleSite
     ) -> None:
+        self.note_site(site)
         # Equality is both directions of ⊑, leaf-wise.
-        self.require_flow(left, right, site)
-        self.require_flow(right, left, site)
+        self._flow(left, right, site)
+        self._flow(right, left, site)
 
     def error(
         self, kind: ViolationKind, message: str, span: SourceSpan, rule: str

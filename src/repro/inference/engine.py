@@ -36,6 +36,7 @@ from repro.lattice.base import Label, Lattice
 from repro.lattice.two_point import TwoPointLattice
 from repro.syntax.program import Program
 from repro.syntax.source import SourceSpan
+from repro.telemetry.recorder import current_recorder
 
 
 @dataclass(frozen=True)
@@ -191,11 +192,18 @@ class Solver:
     def solve(self) -> Solution:
         """The least solution above the current pins (cached)."""
         if self._solution is None:
+            recorder = current_recorder()
             start = time.perf_counter()
-            stats = self.graph._new_stats()
-            self._assignment = self.graph.fresh_assignment(self._pins)
-            self.graph.propagate(self._assignment, stats)
-            self._check_results = self.graph.check_conflicts(self._assignment)
+            with recorder.span(
+                "solver.solve",
+                edges=len(self.graph.edges),
+                variables=len(self.graph.variables),
+                persistent=True,
+            ):
+                stats = self.graph._new_stats()
+                self._assignment = self.graph.fresh_assignment(self._pins)
+                self.graph.propagate(self._assignment, stats)
+                self._check_results = self.graph.check_conflicts(self._assignment)
             stats.solve_ms = (time.perf_counter() - start) * 1000.0
             self._solution = self._snapshot(stats)
         return self._solution
@@ -215,39 +223,64 @@ class Solver:
             for var, label in changes.items():
                 self._apply_pin(var, label)
             return self.solve()
+        recorder = current_recorder()
         start = time.perf_counter()
         for var, label in changes.items():
             self._apply_pin(var, label)
         graph = self.graph
         cone = graph.cone_of(changes)
-        stats = graph._new_stats()
-        # Reset the cone to ⊥ (plus pins) and replay the schedule over its
-        # components; an SCC is entirely inside or outside the cone, so the
-        # restricted schedule sees exactly the edges it must revisit.
-        for var in cone:
-            self._assignment[var] = self.lattice.bottom
-            pin = self._pins.get(var)
-            if pin is not None:
-                self._assignment[var] = pin
         components = {graph.component_of[var] for var in cone}
-        graph.propagate(self._assignment, stats, components)
-        # Slots outside the graph (never constrained) still surface edits.
-        for var, label in changes.items():
-            if var not in graph.component_of:
-                if label is None:
-                    self._assignment.pop(var, None)
-                else:
-                    self._assignment[var] = label
-        affected = [
-            index
-            for index, variables in enumerate(self._check_vars)
-            if variables & cone
-        ]
-        for index, verdict in zip(
-            affected, graph.check_conflicts(self._assignment, affected)
+        with recorder.span(
+            "solver.resolve",
+            edited=len(changes),
+            cone=len(cone),
+            components=len(components),
         ):
-            self._check_results[index] = verdict
+            stats = graph._new_stats()
+            # Reset the cone to ⊥ (plus pins) and replay the schedule over its
+            # components; an SCC is entirely inside or outside the cone, so the
+            # restricted schedule sees exactly the edges it must revisit.
+            for var in cone:
+                self._assignment[var] = self.lattice.bottom
+                pin = self._pins.get(var)
+                if pin is not None:
+                    self._assignment[var] = pin
+            graph.propagate(self._assignment, stats, components)
+            # Slots outside the graph (never constrained) still surface edits.
+            for var, label in changes.items():
+                if var not in graph.component_of:
+                    if label is None:
+                        self._assignment.pop(var, None)
+                    else:
+                        self._assignment[var] = label
+            affected = [
+                index
+                for index, variables in enumerate(self._check_vars)
+                if variables & cone
+            ]
+            for index, verdict in zip(
+                affected, graph.check_conflicts(self._assignment, affected)
+            ):
+                self._check_results[index] = verdict
         stats.solve_ms = (time.perf_counter() - start) * 1000.0
+        if recorder.enabled:
+            # Cache accounting: how much of the graph the edit did *not*
+            # have to revisit -- the quantity that makes the incremental
+            # path worth having.
+            recorder.count("solver.resolve.calls")
+            recorder.count("solver.resolve.cone_vars", len(cone))
+            recorder.count(
+                "solver.resolve.vars_reused", len(graph.variables) - len(cone)
+            )
+            recorder.count(
+                "solver.resolve.edges_skipped",
+                len(graph.edges) - stats.edges_visited,
+            )
+            recorder.count("solver.resolve.checks_reevaluated", len(affected))
+            recorder.count(
+                "solver.resolve.checks_cached",
+                len(self._check_results) - len(affected),
+            )
         self._solution = self._snapshot(stats)
         return self._solution
 
@@ -288,12 +321,21 @@ def infer_labels(
     the source constructs that clash.
     """
     resolved = lattice or TwoPointLattice()
-    generation = generate_constraints(
-        program, resolved, allow_declassification=allow_declassification
-    )
+    recorder = current_recorder()
+    with recorder.span("infer.generate") as generate_span:
+        generation = generate_constraints(
+            program, resolved, allow_declassification=allow_declassification
+        )
+    if recorder.enabled:
+        generate_span.attrs["constraints"] = len(generation.constraints)
+        generate_span.attrs["slots"] = len(generation.sites)
+        recorder.count("infer.runs")
+        recorder.count("infer.constraints_generated", len(generation.constraints))
+        recorder.count("infer.slots", len(generation.sites))
     solution = solve(resolved, generation.constraints)
     if solution.ok and generation.control_pc_vars:
-        solution = _maximise_control_pcs(resolved, generation, solution)
+        with recorder.span("infer.maximise-pc", pcs=len(generation.control_pc_vars)):
+            solution = _maximise_control_pcs(resolved, generation, solution)
     inferred = [
         InferredLabel(
             site.hint,
@@ -310,7 +352,8 @@ def infer_labels(
     diagnostics.extend(
         conflict.as_diagnostic(resolved) for conflict in solution.conflicts
     )
-    elaborated = elaborate_program(generation, solution)
+    with recorder.span("infer.elaborate"):
+        elaborated = elaborate_program(generation, solution)
     return InferenceResult(
         program,
         resolved,

@@ -60,6 +60,8 @@ from repro.inference.solve import (
 )
 from repro.inference.terms import LabelVar, Term, evaluate, free_vars
 from repro.lattice.base import Label, Lattice
+from repro.telemetry.instrument import CountingLattice
+from repro.telemetry.recorder import current_recorder
 
 
 @dataclass(frozen=True)
@@ -156,13 +158,21 @@ class PropagationGraph:
         self.dependents: Dict[LabelVar, List[int]] = {}
         #: var -> edge indices *targeting* it.
         self.edges_into: Dict[LabelVar, List[int]] = {}
-        self._build_edges()
-        #: SCCs of the variable graph, dependencies (sources) first.
-        self.components: List[Tuple[LabelVar, ...]] = []
-        self.component_of: Dict[LabelVar, int] = {}
-        self._cyclic: List[bool] = []
-        self._condense()
+        recorder = current_recorder()
+        with recorder.span("solver.build", constraints=len(self.constraints)):
+            with recorder.span("solver.normalise"):
+                self._build_edges()
+            #: SCCs of the variable graph, dependencies (sources) first.
+            self.components: List[Tuple[LabelVar, ...]] = []
+            self.component_of: Dict[LabelVar, int] = {}
+            self._cyclic: List[bool] = []
+            with recorder.span("solver.condense"):
+                self._condense()
         self._height = _height_bound(lattice)
+        if recorder.enabled:
+            recorder.count("solver.graphs_built")
+            recorder.count("solver.edges_built", len(self.edges))
+            recorder.count("solver.sccs_built", len(self.components))
 
     # -- construction -------------------------------------------------------
 
@@ -317,8 +327,9 @@ class PropagationGraph:
         comp_index: int,
         assignment: Dict[LabelVar, Label],
         stats: SolverStats,
+        lattice: Optional[Lattice] = None,
     ) -> None:
-        lattice = self.lattice
+        lattice = lattice or self.lattice
         edges = self.edges
         component = self.components[comp_index]
         in_edges: List[int] = []
@@ -401,8 +412,32 @@ class PropagationGraph:
             if component_indices is None
             else sorted(component_indices)
         )
-        for comp_index in order:
-            self._run_component(comp_index, assignment, stats)
+        recorder = current_recorder()
+        if not recorder.enabled:
+            # The disabled hot path: identical to the uninstrumented
+            # schedule, no per-component telemetry work at all.
+            for comp_index in order:
+                self._run_component(comp_index, assignment, stats)
+            return
+        counting = CountingLattice(self.lattice, recorder, scope="propagate")
+        with recorder.span("solver.propagate", components=len(order)):
+            for comp_index in order:
+                component = self.components[comp_index]
+                if not any(var in self.edges_into for var in component):
+                    continue  # no in-edges: nothing to solve or record
+                before = stats.worklist_pops
+                with recorder.span(
+                    "solver.component",
+                    index=comp_index,
+                    size=len(component),
+                    cyclic=self._cyclic[comp_index],
+                ) as span:
+                    self._run_component(comp_index, assignment, stats, counting)
+                    span.attrs["pops"] = stats.worklist_pops - before
+                recorder.observe(
+                    "solver.pops_per_component", stats.worklist_pops - before
+                )
+        counting.flush()
 
     def fresh_assignment(
         self, overrides: Optional[Mapping[LabelVar, Label]] = None
@@ -419,12 +454,21 @@ class PropagationGraph:
         self, overrides: Optional[Mapping[LabelVar, Label]] = None
     ) -> Solution:
         """Full SCC-scheduled solve; least solution above ``overrides``."""
+        recorder = current_recorder()
         start = time.perf_counter()
-        stats = self._new_stats()
-        assignment = self.fresh_assignment(overrides)
-        self.propagate(assignment, stats)
-        conflicts = [c for c in self.check_conflicts(assignment) if c is not None]
+        with recorder.span(
+            "solver.solve", edges=len(self.edges), variables=len(self.variables)
+        ):
+            stats = self._new_stats()
+            assignment = self.fresh_assignment(overrides)
+            self.propagate(assignment, stats)
+            conflicts = [c for c in self.check_conflicts(assignment) if c is not None]
         stats.solve_ms = (time.perf_counter() - start) * 1000.0
+        if recorder.enabled:
+            recorder.count("solver.solves")
+            recorder.count("solver.edges_visited", stats.edges_visited)
+            recorder.count("solver.worklist_pops", stats.worklist_pops)
+            recorder.count("solver.conflicts", len(conflicts))
         solution = Solution(
             self.lattice,
             assignment,
@@ -459,21 +503,29 @@ class PropagationGraph:
         restricted, it is aligned with ``check_indices`` -- the caller
         (incremental re-solve) merges it into its cached per-check slots.
         """
-        indices = (
+        indices = list(
             range(len(self.checks)) if check_indices is None else check_indices
         )
+        recorder = current_recorder()
+        lattice: Lattice = self.lattice
+        if recorder.enabled:
+            lattice = CountingLattice(self.lattice, recorder, scope="check")
         results: List[Optional[InferenceConflict]] = []
-        for index in indices:
-            lhs, rhs, origin = self.checks[index]
-            observed = evaluate(lhs, self.lattice, assignment)
-            required = evaluate(rhs, self.lattice, assignment)
-            if self.lattice.leq(observed, required):
-                results.append(None)
-            else:
-                core = self.unsat_core(assignment, lhs, required)
-                results.append(
-                    InferenceConflict(origin, observed, required, tuple(core))
-                )
+        with recorder.span("solver.check", checks=len(indices)):
+            for index in indices:
+                lhs, rhs, origin = self.checks[index]
+                observed = evaluate(lhs, lattice, assignment)
+                required = evaluate(rhs, lattice, assignment)
+                if lattice.leq(observed, required):
+                    results.append(None)
+                else:
+                    core = self.unsat_core(assignment, lhs, required)
+                    results.append(
+                        InferenceConflict(origin, observed, required, tuple(core))
+                    )
+        if recorder.enabled:
+            recorder.count("solver.checks_evaluated", len(indices))
+            lattice.flush()
         return results
 
     def unsat_core(
@@ -490,6 +542,13 @@ class PropagationGraph:
         bound contributes its originating constraints.  The resulting core
         is ordered from the conflicting check back towards the sources.
         """
+        recorder = current_recorder()
+        with recorder.span("solver.unsat-core"):
+            return self._unsat_core(assignment, lhs, bound)
+
+    def _unsat_core(
+        self, assignment: Dict[LabelVar, Label], lhs: Term, bound: Label
+    ) -> List[Constraint]:
         lattice = self.lattice
         blamed: deque = deque(
             var

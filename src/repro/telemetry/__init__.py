@@ -1,0 +1,55 @@
+"""``repro.telemetry`` -- tracing spans, metrics, and exporters.
+
+A zero-dependency, disabled-by-default instrumentation layer for the whole
+P4BID pipeline.  See :mod:`repro.telemetry.recorder` for the span/counter
+model, :mod:`repro.telemetry.export` for the JSON-lines / Chrome-trace /
+text exporters, and :mod:`repro.telemetry.instrument` for the hot-path
+probes.  The CLI exposes it as ``p4bid --trace FILE`` / ``--metrics FILE``
+/ ``--trace-summary``; library users install a recorder explicitly::
+
+    from repro import check_source
+    from repro.telemetry import TraceRecorder, use_recorder, format_trace_summary
+
+    recorder = TraceRecorder()
+    with use_recorder(recorder):
+        report = check_source(source, infer=True)
+    print(format_trace_summary(recorder))
+"""
+
+from repro.telemetry.export import (
+    format_trace_summary,
+    metrics_dict,
+    to_chrome_trace,
+    to_events,
+    to_jsonl,
+    write_chrome_trace,
+)
+from repro.telemetry.instrument import CountingLattice
+from repro.telemetry.recorder import (
+    NULL_RECORDER,
+    Histogram,
+    Recorder,
+    Span,
+    TelemetryError,
+    TraceRecorder,
+    current_recorder,
+    use_recorder,
+)
+
+__all__ = [
+    "CountingLattice",
+    "Histogram",
+    "NULL_RECORDER",
+    "Recorder",
+    "Span",
+    "TelemetryError",
+    "TraceRecorder",
+    "current_recorder",
+    "format_trace_summary",
+    "metrics_dict",
+    "to_chrome_trace",
+    "to_events",
+    "to_jsonl",
+    "use_recorder",
+    "write_chrome_trace",
+]

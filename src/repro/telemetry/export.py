@@ -1,0 +1,220 @@
+"""Exporters: JSON-lines events, Chrome ``trace_event`` files, text trees.
+
+Three projections of one :class:`~repro.telemetry.recorder.TraceRecorder`:
+
+* :func:`to_events` / :func:`to_jsonl` -- a structured event log, one JSON
+  object per line (``span`` / ``counter`` / ``histogram`` records), the
+  stable machine-readable form for log pipelines and diffing;
+* :func:`to_chrome_trace` / :func:`write_chrome_trace` -- the Chrome
+  ``trace_event`` JSON format (``ph: "X"`` complete events with
+  microsecond timestamps), which ``chrome://tracing`` and Perfetto render
+  as a flamegraph without any further tooling;
+* :func:`format_trace_summary` -- a human-readable span tree with
+  durations, aggregating large sibling groups (a 1,700-component solve
+  prints one aggregate line, not 1,700), followed by the counters and
+  histograms.
+
+:func:`metrics_dict` is the aggregate view (``p4bid --metrics``): every
+counter, histogram and per-span-name duration total, JSON-serialisable.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.telemetry.recorder import Span, TelemetryError, TraceRecorder
+
+#: Sibling spans sharing a name beyond this count collapse to one
+#: aggregate line in the text summary.
+_AGGREGATE_THRESHOLD = 8
+
+
+def _require_closed(recorder: TraceRecorder) -> None:
+    open_spans = recorder.open_spans
+    if open_spans:
+        names = ", ".join(span.name for span in open_spans)
+        raise TelemetryError(f"cannot export while spans are open: {names}")
+
+
+# ---------------------------------------------------------------------------
+# JSON-lines event log
+
+
+def to_events(recorder: TraceRecorder) -> List[Dict[str, Any]]:
+    """Every span, counter and histogram as one flat list of event dicts."""
+    _require_closed(recorder)
+    events: List[Dict[str, Any]] = [
+        {
+            "type": "meta",
+            "clock": "perf_counter_us",
+            "wall_epoch": recorder.wall_epoch,
+        }
+    ]
+    for span in recorder.spans:
+        events.append(
+            {
+                "type": "span",
+                "sid": span.sid,
+                "parent": span.parent,
+                "name": span.name,
+                "start_us": span.start_us,
+                "dur_us": span.duration_us,
+                "attrs": span.attrs,
+            }
+        )
+    for name, value in sorted(recorder.counters.items()):
+        events.append({"type": "counter", "name": name, "value": value})
+    for name, histogram in sorted(recorder.histograms.items()):
+        events.append({"type": "histogram", "name": name, **histogram.as_dict()})
+    return events
+
+
+def to_jsonl(recorder: TraceRecorder) -> str:
+    """The event log as newline-delimited JSON (trailing newline included)."""
+    return "".join(json.dumps(event) + "\n" for event in to_events(recorder))
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace_event format
+
+
+def to_chrome_trace(recorder: TraceRecorder) -> Dict[str, Any]:
+    """The span tree in Chrome's ``trace_event`` JSON object format.
+
+    Spans become ``ph: "X"`` (complete) events on one pid/tid; counters
+    become ``ph: "C"`` events stamped at the trace end so the counter
+    track shows the run's totals.  Load the written file directly in
+    ``chrome://tracing`` or https://ui.perfetto.dev.
+    """
+    _require_closed(recorder)
+    end_us = max((span.end_us or 0.0 for span in recorder.spans), default=0.0)
+    events: List[Dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": 1,
+            "args": {"name": "p4bid"},
+        }
+    ]
+    for span in recorder.spans:
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.name.split(".", 1)[0],
+                "ph": "X",
+                "ts": span.start_us,
+                "dur": span.duration_us,
+                "pid": 1,
+                "tid": 1,
+                "args": dict(span.attrs),
+            }
+        )
+    for name, value in sorted(recorder.counters.items()):
+        events.append(
+            {
+                "name": name,
+                "cat": "counter",
+                "ph": "C",
+                "ts": end_us,
+                "pid": 1,
+                "tid": 1,
+                "args": {"value": value},
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(recorder: TraceRecorder, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(to_chrome_trace(recorder), handle, indent=2)
+        handle.write("\n")
+
+
+# ---------------------------------------------------------------------------
+# aggregate metrics
+
+
+def metrics_dict(recorder: TraceRecorder) -> Dict[str, Any]:
+    """Counters, histograms and per-span-name totals, JSON-serialisable."""
+    _require_closed(recorder)
+    span_totals: Dict[str, Dict[str, Any]] = {}
+    for span in recorder.spans:
+        entry = span_totals.setdefault(span.name, {"count": 0, "total_ms": 0.0})
+        entry["count"] += 1
+        entry["total_ms"] += span.duration_ms
+    return {
+        "counters": dict(sorted(recorder.counters.items())),
+        "histograms": {
+            name: histogram.as_dict()
+            for name, histogram in sorted(recorder.histograms.items())
+        },
+        "spans": dict(sorted(span_totals.items())),
+    }
+
+
+# ---------------------------------------------------------------------------
+# human text summary
+
+
+def _format_span_line(indent: str, label: str, ms: float) -> str:
+    return f"{indent}{label:<{max(1, 56 - len(indent))}} {ms:>10.2f} ms"
+
+
+def _render_children(
+    recorder: TraceRecorder,
+    parent: Optional[int],
+    indent: str,
+    lines: List[str],
+    children_of: Dict[Optional[int], List[Span]],
+) -> None:
+    siblings = children_of.get(parent, [])
+    by_name: Dict[str, List[Span]] = {}
+    for span in siblings:
+        by_name.setdefault(span.name, []).append(span)
+    for span in siblings:
+        group = by_name.get(span.name)
+        if group is None:
+            continue  # already rendered as an aggregate
+        if len(group) > _AGGREGATE_THRESHOLD:
+            total = sum(s.duration_ms for s in group)
+            worst = max(s.duration_ms for s in group)
+            lines.append(
+                _format_span_line(
+                    indent,
+                    f"{span.name} ×{len(group)} (max {worst:.2f} ms)",
+                    total,
+                )
+            )
+            del by_name[span.name]
+            continue
+        label = span.name
+        if span.attrs:
+            rendered = ", ".join(f"{k}={v}" for k, v in span.attrs.items())
+            label = f"{span.name} [{rendered}]"
+        lines.append(_format_span_line(indent, label, span.duration_ms))
+        _render_children(recorder, span.sid, indent + "  ", lines, children_of)
+    # Exhausted groups were deleted above; nothing else to do.
+
+
+def format_trace_summary(recorder: TraceRecorder) -> str:
+    """A human-readable rendering of the span tree, counters, histograms."""
+    _require_closed(recorder)
+    lines: List[str] = ["== telemetry summary =="]
+    children_of: Dict[Optional[int], List[Span]] = {}
+    for span in recorder.spans:
+        children_of.setdefault(span.parent, []).append(span)
+    _render_children(recorder, None, "", lines, children_of)
+    if recorder.counters:
+        lines.append("-- counters --")
+        for name, value in sorted(recorder.counters.items()):
+            lines.append(f"  {name:<48} {value:>12}")
+    if recorder.histograms:
+        lines.append("-- histograms --")
+        for name, histogram in sorted(recorder.histograms.items()):
+            lines.append(
+                f"  {name:<48} n={histogram.count} mean={histogram.mean:.1f} "
+                f"min={histogram.minimum} max={histogram.maximum}"
+            )
+    return "\n".join(lines)

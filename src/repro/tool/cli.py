@@ -3,6 +3,14 @@
 Exit status is 0 when every checked program is accepted, 1 when any program
 is rejected (type error or information-flow violation), and 2 on usage or
 I/O errors -- the conventions a build system expects from a checker.
+
+Observability: ``--trace FILE`` writes a Chrome ``trace_event`` file
+(open it in ``chrome://tracing`` or https://ui.perfetto.dev; a ``.jsonl``
+suffix switches to the JSON-lines event log), ``--metrics FILE`` writes
+aggregated counters/histograms/span totals, and ``--trace-summary``
+prints the span tree as text.  Any of the three installs a
+:class:`~repro.telemetry.TraceRecorder` around the whole run, so the
+solver's fine-grained spans are captured alongside the pipeline phases.
 """
 
 from __future__ import annotations
@@ -14,6 +22,14 @@ from pathlib import Path
 from typing import List, Optional, Sequence
 
 from repro.lattice.registry import available_lattices, get_lattice
+from repro.telemetry import (
+    TraceRecorder,
+    format_trace_summary,
+    metrics_dict,
+    to_chrome_trace,
+    to_jsonl,
+    use_recorder,
+)
 from repro.tool.pipeline import check_source
 from repro.tool.report import format_report, report_to_json
 from repro.tool.summary import format_summary, summarise_report
@@ -80,9 +96,57 @@ def build_arg_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        help=(
+            "record a trace of the whole run and write it as a Chrome "
+            "trace_event file (load in chrome://tracing or Perfetto); a "
+            ".jsonl suffix writes the JSON-lines event log instead"
+        ),
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="FILE",
+        help=(
+            "write aggregated telemetry (counters, histograms, per-span "
+            "totals) as a JSON document"
+        ),
+    )
+    parser.add_argument(
+        "--trace-summary",
+        action="store_true",
+        help="print a human-readable span tree and counter summary",
+    )
+    parser.add_argument(
         "--version", action="version", version=f"p4bid {__version__}"
     )
     return parser
+
+
+def _export_telemetry(
+    recorder: TraceRecorder, args: argparse.Namespace, outputs: List[str]
+) -> int:
+    """Write/append the requested telemetry outputs; 2 on I/O failure."""
+    try:
+        if args.trace:
+            if args.trace.endswith(".jsonl"):
+                Path(args.trace).write_text(to_jsonl(recorder), encoding="utf-8")
+            else:
+                Path(args.trace).write_text(
+                    json.dumps(to_chrome_trace(recorder), indent=2) + "\n",
+                    encoding="utf-8",
+                )
+        if args.metrics:
+            Path(args.metrics).write_text(
+                json.dumps(metrics_dict(recorder), indent=2) + "\n",
+                encoding="utf-8",
+            )
+    except OSError as exc:
+        print(f"p4bid: cannot write telemetry output: {exc}", file=sys.stderr)
+        return 2
+    if args.trace_summary:
+        outputs.append(format_trace_summary(recorder))
+    return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -92,6 +156,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         parser.error("--infer requires the security pass; drop --core-only")
     if args.solver_stats and not args.infer:
         parser.error("--solver-stats reports on the inference solver; add --infer")
+    tracing = bool(args.trace or args.metrics or args.trace_summary)
+    recorder = TraceRecorder() if tracing else None
     exit_code = 0
     outputs: List[str] = []
     for file_name in args.files:
@@ -101,15 +167,27 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         except OSError as exc:
             print(f"p4bid: cannot read {file_name}: {exc}", file=sys.stderr)
             return 2
-        report = check_source(
-            source,
-            args.lattice,
-            include_ifc=not args.core_only,
-            infer=args.infer,
-            allow_declassification=args.allow_declassify,
-            filename=str(path),
-            name=path.stem,
-        )
+        if recorder is not None:
+            with use_recorder(recorder):
+                report = check_source(
+                    source,
+                    args.lattice,
+                    include_ifc=not args.core_only,
+                    infer=args.infer,
+                    allow_declassification=args.allow_declassify,
+                    filename=str(path),
+                    name=path.stem,
+                )
+        else:
+            report = check_source(
+                source,
+                args.lattice,
+                include_ifc=not args.core_only,
+                infer=args.infer,
+                allow_declassification=args.allow_declassify,
+                filename=str(path),
+                name=path.stem,
+            )
         if args.json:
             payload = json.loads(report_to_json(report))
             if args.summary:
@@ -127,6 +205,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             outputs.append(text)
         if not report.ok:
             exit_code = 1
+    if recorder is not None:
+        telemetry_code = _export_telemetry(recorder, args, outputs)
+        if telemetry_code:
+            return telemetry_code
     print("\n\n".join(outputs))
     return exit_code
 

@@ -6,16 +6,24 @@ when security checking is requested -- against the IFC type system of
 Section 4.  With ``infer=True`` a label-inference phase
 (:mod:`repro.inference`) runs between the two: missing annotations are
 solved for, and the IFC phase re-verifies the *elaborated* program, so the
-security verdict still rests on the unmodified Figure 5–7 checker.  Timing
-of each phase is recorded so the Table 1 benchmark can report the overhead
-of the security pass over the baseline (and of inference over checking).
+security verdict still rests on the unmodified Figure 5–7 checker.
+
+Every phase runs inside a :mod:`repro.telemetry` span (``phase.parse``,
+``phase.core``, ``phase.infer``, ``phase.ifc``).  When the ambient
+recorder is a :class:`~repro.telemetry.TraceRecorder` (``p4bid --trace``,
+or :func:`~repro.telemetry.use_recorder` around the call) the pipeline
+records into it, and the solver's own fine-grained spans nest underneath;
+otherwise a *private* recorder captures just the coarse phase spans, so
+the disabled default pays a handful of span objects per program and
+nothing per edge or rule site.  Either way :class:`PhaseTiming` -- what
+the Table 1 benchmark and the reports consume -- is a **projection of the
+span tree**, not a parallel bookkeeping path.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Union
+from typing import Any, ClassVar, Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
 from repro.frontend.errors import FrontendError
 from repro.frontend.parser import parse_program
@@ -26,25 +34,82 @@ from repro.lattice.base import Lattice
 from repro.lattice.registry import get_lattice
 from repro.lattice.two_point import TwoPointLattice
 from repro.syntax.program import Program
+from repro.telemetry.recorder import (
+    Recorder,
+    Span,
+    TraceRecorder,
+    current_recorder,
+)
 from repro.typechecker.checker import CoreCheckResult, check_core_types
 from repro.typechecker.errors import TypeDiagnostic
+
+#: Span names of the solver intervals that constitute the "solve" sub-phase.
+_SOLVE_SPANS = ("solver.solve", "solver.resolve")
 
 
 @dataclass
 class PhaseTiming:
-    """Wall-clock duration of each pipeline phase, in milliseconds."""
+    """Wall-clock duration of each pipeline phase, in milliseconds.
+
+    Derived from the pipeline's span tree (:meth:`from_spans`).  The
+    top-level phases -- :data:`TOP_LEVEL` -- partition the pipeline;
+    :data:`SUB_PHASES` records containment *explicitly*: ``solve`` is a
+    sub-phase of ``infer`` (the constraint-solving interval inside label
+    inference), so :attr:`total_ms` sums only the top-level phases and can
+    never double-count a nested interval.
+    """
+
+    #: The phases that partition a pipeline run end to end.
+    TOP_LEVEL: ClassVar[Tuple[str, ...]] = ("parse", "core", "infer", "ifc")
+    #: Explicit sub-phase nesting: sub-phase -> the phase containing it.
+    SUB_PHASES: ClassVar[Mapping[str, str]] = {"solve": "infer"}
 
     parse_ms: float = 0.0
     core_ms: float = 0.0
     infer_ms: float = 0.0
     ifc_ms: float = 0.0
-    #: The constraint-solving portion of the infer phase (already included
-    #: in ``infer_ms``), as reported by the solver's own statistics.
+    #: The constraint-solving sub-phase of ``infer`` (see
+    #: :data:`SUB_PHASES`); excluded from :attr:`total_ms` by construction.
     solve_ms: float = 0.0
 
     @property
     def total_ms(self) -> float:
-        return self.parse_ms + self.core_ms + self.infer_ms + self.ifc_ms
+        """End-to-end duration: the sum of the top-level phases only."""
+        return sum(self.phase_ms(phase) for phase in self.TOP_LEVEL)
+
+    def phase_ms(self, phase: str) -> float:
+        """Duration of one named (top-level or sub-) phase."""
+        return getattr(self, f"{phase}_ms")
+
+    @classmethod
+    def from_spans(cls, spans: Iterable[Span]) -> "PhaseTiming":
+        """Project a span sequence onto the phase fields.
+
+        ``phase.<name>`` spans accumulate into their phase; the solver
+        spans (:data:`_SOLVE_SPANS`) accumulate into the ``solve``
+        sub-phase.  Multiple spans of one phase (re-runs) sum.
+        """
+        timing = cls()
+        for span in spans:
+            if not span.closed:
+                continue
+            if span.name.startswith("phase."):
+                phase = span.name[len("phase.") :]
+                if phase in cls.TOP_LEVEL:
+                    setattr(timing, f"{phase}_ms", timing.phase_ms(phase) + span.duration_ms)
+            elif span.name in _SOLVE_SPANS:
+                timing.solve_ms += span.duration_ms
+        return timing
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Nested projection: each top-level phase with its sub-phases."""
+        tree: Dict[str, Any] = {}
+        for phase in self.TOP_LEVEL:
+            tree[phase] = {"ms": self.phase_ms(phase)}
+        for sub, parent in self.SUB_PHASES.items():
+            tree[parent].setdefault("sub_phases", {})[sub] = {"ms": self.phase_ms(sub)}
+        tree["total_ms"] = self.total_ms
+        return tree
 
 
 @dataclass
@@ -59,6 +124,11 @@ class CheckReport:
     ifc_result: Optional[IfcCheckResult] = None
     timing: PhaseTiming = field(default_factory=PhaseTiming)
     lattice_name: str = "two-point"
+    #: The recorder the pipeline's phase spans went to: the ambient
+    #: :class:`~repro.telemetry.TraceRecorder` when one was installed, or
+    #: the pipeline's private phase-level recorder otherwise.  ``timing``
+    #: is a projection of its spans.
+    trace: Optional[TraceRecorder] = None
 
     @property
     def core_diagnostics(self) -> List[TypeDiagnostic]:
@@ -109,6 +179,68 @@ def _resolve_lattice(lattice: Union[Lattice, str, None]) -> Lattice:
     return lattice
 
 
+def _pipeline_recorder(recorder: Optional[Recorder]) -> TraceRecorder:
+    """The recorder the pipeline's phase spans go to.
+
+    An explicitly passed or ambient :class:`TraceRecorder` is used as-is
+    (fine-grained solver spans from the layers below then share the same
+    tree).  Anything else -- the no-op default, or a custom metrics-only
+    recorder -- gets a fresh *private* recorder: phase timing still derives
+    from spans, but the hot paths below continue to see the ambient
+    recorder and stay no-op.
+    """
+    ambient = recorder if recorder is not None else current_recorder()
+    if isinstance(ambient, TraceRecorder):
+        return ambient
+    return TraceRecorder()
+
+
+def _run_phases(
+    report: CheckReport,
+    program: Program,
+    lattice: Lattice,
+    recorder: TraceRecorder,
+    *,
+    include_ifc: bool,
+    infer: bool,
+    allow_declassification: bool,
+) -> None:
+    """The core → (infer) → ifc phases over an already-parsed program."""
+    with recorder.span("phase.core"):
+        report.core_result = check_core_types(program)
+
+    if not include_ifc:
+        return
+    target: Optional[Program] = program
+    if infer:
+        with recorder.span("phase.infer") as infer_span:
+            report.inference_result = infer_labels(
+                program, lattice, allow_declassification=allow_declassification
+            )
+        stats = report.inference_result.solution.stats
+        solver_spans_recorded = any(
+            span.name in _SOLVE_SPANS and span.sid > infer_span.sid
+            for span in recorder.spans
+        )
+        if stats is not None and not solver_spans_recorded:
+            # The fine-grained recorder was not installed; project the
+            # solver's own measurement into the tree so ``solve`` is still
+            # an explicit child of ``infer`` in every trace.
+            recorder.add_span(
+                "solver.solve", stats.solve_ms, parent=infer_span, projected=True
+            )
+        target = (
+            report.inference_result.elaborated
+            if report.inference_result.ok
+            else None
+        )
+    if target is not None:
+        with recorder.span("phase.ifc", recheck=infer):
+            report.ifc_result = check_ifc(
+                target, lattice, allow_declassification=allow_declassification
+            )
+
+
 def check_program(
     program: Program,
     lattice: Union[Lattice, str, None] = None,
@@ -117,6 +249,7 @@ def check_program(
     infer: bool = False,
     allow_declassification: bool = False,
     name: Optional[str] = None,
+    recorder: Optional[Recorder] = None,
 ) -> CheckReport:
     """Run the (core + optional infer + optional IFC) checks over a program.
 
@@ -133,33 +266,20 @@ def check_program(
         )
     resolved = _resolve_lattice(lattice)
     report = CheckReport(name or program.name, program=program, lattice_name=resolved.name)
-
-    start = time.perf_counter()
-    report.core_result = check_core_types(program)
-    report.timing.core_ms = (time.perf_counter() - start) * 1000.0
-
-    if include_ifc:
-        target: Optional[Program] = program
-        if infer:
-            start = time.perf_counter()
-            report.inference_result = infer_labels(
-                program, resolved, allow_declassification=allow_declassification
-            )
-            report.timing.infer_ms = (time.perf_counter() - start) * 1000.0
-            stats = report.inference_result.solution.stats
-            if stats is not None:
-                report.timing.solve_ms = stats.solve_ms
-            target = (
-                report.inference_result.elaborated
-                if report.inference_result.ok
-                else None
-            )
-        if target is not None:
-            start = time.perf_counter()
-            report.ifc_result = check_ifc(
-                target, resolved, allow_declassification=allow_declassification
-            )
-            report.timing.ifc_ms = (time.perf_counter() - start) * 1000.0
+    rec = _pipeline_recorder(recorder)
+    first_span = len(rec.spans)
+    with rec.span("pipeline.check", program=report.name, lattice=resolved.name):
+        _run_phases(
+            report,
+            program,
+            resolved,
+            rec,
+            include_ifc=include_ifc,
+            infer=infer,
+            allow_declassification=allow_declassification,
+        )
+    report.timing = PhaseTiming.from_spans(rec.spans[first_span:])
+    report.trace = rec
     return report
 
 
@@ -172,6 +292,7 @@ def check_source(
     allow_declassification: bool = False,
     filename: str = "<input>",
     name: Optional[str] = None,
+    recorder: Optional[Recorder] = None,
 ) -> CheckReport:
     """Parse and check a program given as source text.
 
@@ -183,23 +304,33 @@ def check_source(
     ``endorse`` primitives (an extension; off by default to preserve the
     paper's strict non-interference).
     """
+    if infer and not include_ifc:
+        raise ValueError(
+            "infer=True requires the security pass; inference without the "
+            "IFC re-check has no verdict to report (drop include_ifc=False)"
+        )
     resolved = _resolve_lattice(lattice)
     report = CheckReport(name or filename, lattice_name=resolved.name)
-    start = time.perf_counter()
-    try:
-        program = parse_program(source, filename, name=name)
-    except FrontendError as exc:
-        report.parse_error = str(exc)
-        report.timing.parse_ms = (time.perf_counter() - start) * 1000.0
-        return report
-    report.timing.parse_ms = (time.perf_counter() - start) * 1000.0
-    full = check_program(
-        program,
-        resolved,
-        include_ifc=include_ifc,
-        infer=infer,
-        allow_declassification=allow_declassification,
-        name=report.name,
-    )
-    full.timing.parse_ms = report.timing.parse_ms
-    return full
+    rec = _pipeline_recorder(recorder)
+    first_span = len(rec.spans)
+    with rec.span("pipeline.check", program=report.name, lattice=resolved.name):
+        with rec.span("phase.parse"):
+            try:
+                program = parse_program(source, filename, name=name)
+            except FrontendError as exc:
+                report.parse_error = str(exc)
+                program = None
+        if program is not None:
+            report.program = program
+            _run_phases(
+                report,
+                program,
+                resolved,
+                rec,
+                include_ifc=include_ifc,
+                infer=infer,
+                allow_declassification=allow_declassification,
+            )
+    report.timing = PhaseTiming.from_spans(rec.spans[first_span:])
+    report.trace = rec
+    return report

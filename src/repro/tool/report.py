@@ -91,8 +91,14 @@ def format_report(
         report.timing.parse_ms, report.timing.core_ms
     )
     if report.inference_result is not None:
-        timing += f", infer {report.timing.infer_ms:.2f} ms"
+        # solve is a sub-phase of infer (PhaseTiming.SUB_PHASES): shown
+        # nested, never added to the total.
+        timing += (
+            f", infer {report.timing.infer_ms:.2f} ms"
+            f" (solve {report.timing.solve_ms:.2f} ms)"
+        )
     timing += f", ifc {report.timing.ifc_ms:.2f} ms"
+    timing += f", total {report.timing.total_ms:.2f} ms"
     lines.append(timing)
     return "\n".join(lines)
 
@@ -167,6 +173,9 @@ def report_to_dict(report: CheckReport) -> Dict[str, Any]:
                 report.ifc_result.declassifications if report.ifc_result else []
             )
         ],
+        # Flat keys kept for compatibility; "phases" is the explicit
+        # nesting (sub-phases under their parents, projected from the
+        # pipeline's span tree -- total never double-counts "solve").
         "timing_ms": {
             "parse": report.timing.parse_ms,
             "core": report.timing.core_ms,
@@ -174,6 +183,7 @@ def report_to_dict(report: CheckReport) -> Dict[str, Any]:
             "solve": report.timing.solve_ms,
             "ifc": report.timing.ifc_ms,
             "total": report.timing.total_ms,
+            "phases": report.timing.as_dict(),
         },
     }
 

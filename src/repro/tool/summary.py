@@ -69,6 +69,10 @@ class ProgramSummary:
     #: (variables, edges, SCCs, worklist pops), so the reviewed artefact
     #: also records how the labels were derived.
     solver: Optional[Dict[str, object]] = None
+    #: When the check ran under a :class:`~repro.telemetry.TraceRecorder`:
+    #: the recorder's counters (rule-site traffic, constraints emitted per
+    #: rule, lattice-operation counts), keyed by counter name.
+    metrics: Optional[Dict[str, int]] = None
 
     def as_dict(self) -> Dict:
         return {
@@ -77,6 +81,7 @@ class ProgramSummary:
             "violations": self.violation_count,
             "declassifications": self.declassification_count,
             "solver": self.solver,
+            "metrics": self.metrics,
             "controls": [
                 {
                     "name": control.name,
@@ -160,6 +165,8 @@ def summarise_report(report: CheckReport, lattice: Lattice) -> Optional[ProgramS
     inference = report.inference_result
     if inference is not None and inference.solution.stats is not None:
         summary.solver = inference.solution.stats.as_dict()
+    if report.trace is not None and report.trace.counters:
+        summary.metrics = dict(sorted(report.trace.counters.items()))
     return summary
 
 
@@ -189,4 +196,15 @@ def format_summary(summary: ProgramSummary) -> str:
             f"{summary.solver.get('edges', 0)} edge(s), "
             f"{summary.solver.get('sccs', 0)} SCC(s)"
         )
+        lines.append(
+            "    solver: "
+            f"{summary.solver.get('edges_visited', 0)} edge visit(s), "
+            f"{summary.solver.get('worklist_pops', 0)} worklist pop(s), "
+            f"{summary.solver.get('checks', 0)} check(s), "
+            f"{summary.solver.get('solve_ms', 0.0):.2f} ms"
+        )
+    if summary.metrics:
+        lines.append("telemetry counters:")
+        for counter, value in summary.metrics.items():
+            lines.append(f"    {counter:<40} {value}")
     return "\n".join(lines)
