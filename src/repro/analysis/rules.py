@@ -1,0 +1,209 @@
+"""The coded diagnostic rules of the static-analysis layer.
+
+Every finding the analysis layer can produce -- lint findings from
+:mod:`repro.analysis.lints` as well as the checker/inference violations
+re-surfaced for SARIF -- carries a stable rule code:
+
+========  ==========================  ========
+code      name                        severity
+========  ==========================  ========
+P4B001    redundant-annotation        note
+P4B002    annotation-slack            warning
+P4B003    ineffective-declassify      warning
+P4B004    write-to-dead-slot          warning
+P4B005    unreachable-after-exit      warning
+P4B100    parse-error                 error
+P4B101+   one per ``ViolationKind``   error
+P4B110    core-type-error             error
+========  ==========================  ========
+
+The registry is the single source of truth: the lint engine looks rules up
+by code when it emits a :class:`Finding`, and the SARIF writer
+(:mod:`repro.analysis.sarif`) serialises the whole table as
+``tool.driver.rules`` so every result's ``ruleIndex`` resolves to real
+metadata.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.ifc.errors import ViolationKind
+from repro.syntax.source import SourceSpan
+
+
+class Severity(enum.Enum):
+    """Finding severity, aligned with SARIF ``level`` values."""
+
+    NOTE = "note"
+    WARNING = "warning"
+    ERROR = "error"
+
+    @property
+    def sarif_level(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class LintRule:
+    """Metadata for one rule code."""
+
+    code: str
+    name: str
+    severity: Severity
+    summary: str
+    #: Longer help text; for lints this doubles as the generic fix hint.
+    help: str
+
+
+@dataclass(frozen=True)
+class RelatedSpan:
+    """A secondary location attached to a finding (witness hops, sources)."""
+
+    message: str
+    span: SourceSpan
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One located diagnostic produced by the analysis layer."""
+
+    rule: LintRule
+    message: str
+    span: SourceSpan
+    #: Rule-instance-specific fix hint (falls back to ``rule.help``).
+    fix_hint: Optional[str] = None
+    related: Tuple[RelatedSpan, ...] = ()
+
+    @property
+    def code(self) -> str:
+        return self.rule.code
+
+    @property
+    def severity(self) -> Severity:
+        return self.rule.severity
+
+    def describe(self) -> str:
+        location = "" if self.span.is_unknown() else f"{self.span}: "
+        text = f"{location}{self.rule.severity.value} {self.rule.code} " \
+            f"[{self.rule.name}]: {self.message}"
+        hint = self.fix_hint or ""
+        if hint:
+            text += f" (hint: {hint})"
+        return text
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule.code,
+            "name": self.rule.name,
+            "severity": self.rule.severity.value,
+            "message": self.message,
+            "span": str(self.span),
+            "fix_hint": self.fix_hint or self.rule.help,
+            "related": [
+                {"message": rel.message, "span": str(rel.span)}
+                for rel in self.related
+            ],
+        }
+
+
+_RULES: List[LintRule] = [
+    LintRule(
+        "P4B001",
+        "redundant-annotation",
+        Severity.NOTE,
+        "Explicit label equals the inferred least solution.",
+        "The annotation restates what inference derives; drop it (or mark it "
+        "`infer`) to keep the program minimal.",
+    ),
+    LintRule(
+        "P4B002",
+        "annotation-slack",
+        Severity.WARNING,
+        "Explicit label sits strictly above the inferred least solution.",
+        "The slot over-classifies its data; lowering the annotation to the "
+        "inferred label keeps every flow checkable and widens what "
+        "downstream observers may see.",
+    ),
+    LintRule(
+        "P4B003",
+        "ineffective-declassify",
+        Severity.WARNING,
+        "Declassified value never reaches a lower-labelled sink.",
+        "Removing this declassify() changes nothing the checker can see; "
+        "delete it so every remaining declassify marks a real release.",
+    ),
+    LintRule(
+        "P4B004",
+        "write-to-dead-slot",
+        Severity.WARNING,
+        "Stored label is never read downstream.",
+        "The slot absorbs flows but nothing observes it; remove the store "
+        "or route the value somewhere it is read.",
+    ),
+    LintRule(
+        "P4B005",
+        "unreachable-after-exit",
+        Severity.WARNING,
+        "Statement can never execute: it follows exit/return in its block.",
+        "Delete the dead statements or move them before the terminator.",
+    ),
+    LintRule(
+        "P4B100",
+        "parse-error",
+        Severity.ERROR,
+        "The source failed to parse.",
+        "Fix the syntax error; nothing downstream of the parser ran.",
+    ),
+    LintRule(
+        "P4B110",
+        "core-type-error",
+        Severity.ERROR,
+        "The program is ill-typed in Core P4, before any label reasoning.",
+        "Fix the base type error; security types refine core types.",
+    ),
+]
+
+#: ``ViolationKind`` -> rule code, stable across releases: P4B101 upward in
+#: enum declaration order.
+VIOLATION_RULES: Dict[ViolationKind, LintRule] = {}
+for _offset, _kind in enumerate(ViolationKind):
+    _rule = LintRule(
+        f"P4B{101 + _offset}",
+        _kind.value,
+        Severity.ERROR,
+        f"Information-flow violation: {_kind.value.replace('-', ' ')}.",
+        "The flow is rejected by the security type system; raise the sink's "
+        "label, lower the source's, or audit the release with declassify().",
+    )
+    VIOLATION_RULES[_kind] = _rule
+    _RULES.append(_rule)
+
+#: Every rule, sorted by code -- the order SARIF ``ruleIndex`` values use.
+ALL_RULES: Tuple[LintRule, ...] = tuple(sorted(_RULES, key=lambda r: r.code))
+
+_BY_CODE: Dict[str, LintRule] = {rule.code: rule for rule in ALL_RULES}
+
+
+def rule_by_code(code: str) -> LintRule:
+    """Look a rule up by its ``P4Bxxx`` code."""
+    return _BY_CODE[code]
+
+
+def rule_for_violation(kind: ViolationKind) -> LintRule:
+    """The rule backing one checker/inference violation kind."""
+    return VIOLATION_RULES[kind]
+
+
+def rule_table() -> str:
+    """The registry as an aligned text table (README / ``--lint`` header)."""
+    rows = [(rule.code, rule.name, rule.severity.value, rule.summary)
+            for rule in ALL_RULES]
+    widths = [max(len(row[i]) for row in rows) for i in range(3)]
+    return "\n".join(
+        f"{code:<{widths[0]}}  {name:<{widths[1]}}  "
+        f"{severity:<{widths[2]}}  {summary}"
+        for code, name, severity, summary in rows
+    )

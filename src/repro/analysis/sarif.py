@@ -1,0 +1,165 @@
+"""SARIF 2.1.0 serialisation of analysis findings.
+
+One :func:`sarif_document` call turns the findings of any number of
+checked programs into a single SARIF log: one run, the full
+:data:`repro.analysis.rules.ALL_RULES` registry as
+``tool.driver.rules`` (so every result's ``ruleIndex`` resolves to real
+metadata -- id, name, short description, default level, help), and one
+``result`` per finding with a physical location whose region carries the
+span's start *and* end line/column.  The shape follows the published
+SARIF 2.1.0 schema; ``tests/test_analysis_sarif.py`` pins the required
+structure without needing a JSON-schema validator.
+
+Checker/inference/parse diagnostics are mapped onto the ``P4B1xx`` error
+rules by the ``findings_from_*`` helpers, so a SARIF log carries the whole
+verdict -- errors and lints -- in one artefact a CI system or editor can
+ingest (``p4bid --sarif FILE``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.analysis.rules import (
+    ALL_RULES,
+    Finding,
+    rule_by_code,
+    rule_for_violation,
+)
+from repro.ifc.errors import IfcDiagnostic
+from repro.syntax.source import SourceSpan
+from repro.typechecker.errors import TypeDiagnostic
+from repro.version import __version__
+
+_SCHEMA_URI = "https://json.schemastore.org/sarif-2.1.0.json"
+_INFO_URI = "https://github.com/p4bid/p4bid"
+
+_RULE_INDEX: Dict[str, int] = {rule.code: i for i, rule in enumerate(ALL_RULES)}
+
+
+def findings_from_diagnostics(
+    diagnostics: Iterable[IfcDiagnostic],
+) -> List[Finding]:
+    """IFC / inference diagnostics as ``P4B101+`` error findings."""
+    return [
+        Finding(rule_for_violation(diag.kind), diag.message, diag.span)
+        for diag in diagnostics
+    ]
+
+
+def findings_from_core(diagnostics: Iterable[TypeDiagnostic]) -> List[Finding]:
+    """Core type errors as ``P4B110`` findings."""
+    return [
+        Finding(rule_by_code("P4B110"), diag.message, diag.span)
+        for diag in diagnostics
+    ]
+
+
+def finding_from_parse_error(message: str, filename: str) -> Finding:
+    """A parse failure as the single ``P4B100`` finding of its artifact."""
+    return Finding(
+        rule_by_code("P4B100"),
+        message,
+        SourceSpan.point(1, 1, filename),
+    )
+
+
+def _region(span: SourceSpan) -> Dict[str, int]:
+    if span.is_unknown():
+        # SARIF regions are 1-based and mandatory for physical locations
+        # here; synthesised nodes pin to the artifact's first character.
+        return {"startLine": 1, "startColumn": 1, "endLine": 1, "endColumn": 1}
+    return {
+        "startLine": span.start.line,
+        "startColumn": span.start.column,
+        "endLine": max(span.end.line, span.start.line),
+        "endColumn": max(span.end.column, 1),
+    }
+
+
+def _location(span: SourceSpan, fallback_uri: str) -> Dict[str, object]:
+    uri = fallback_uri
+    if not span.is_unknown() and span.filename not in ("<input>", ""):
+        uri = span.filename
+    return {
+        "physicalLocation": {
+            "artifactLocation": {"uri": uri},
+            "region": _region(span),
+        }
+    }
+
+
+def _result(finding: Finding, uri: str) -> Dict[str, object]:
+    message = finding.message
+    hint = finding.fix_hint or ""
+    if hint:
+        message = f"{message} (hint: {hint})"
+    result: Dict[str, object] = {
+        "ruleId": finding.rule.code,
+        "ruleIndex": _RULE_INDEX[finding.rule.code],
+        "level": finding.rule.severity.sarif_level,
+        "message": {"text": message},
+        "locations": [_location(finding.span, uri)],
+    }
+    if finding.related:
+        result["relatedLocations"] = [
+            {
+                **_location(rel.span, uri),
+                "message": {"text": rel.message},
+            }
+            for rel in finding.related
+        ]
+    return result
+
+
+def sarif_document(
+    artifacts: Sequence[tuple],
+    *,
+    tool_name: str = "p4bid",
+) -> Dict[str, object]:
+    """Build one SARIF 2.1.0 log from ``(uri, findings)`` pairs."""
+    rules = [
+        {
+            "id": rule.code,
+            "name": rule.name,
+            "shortDescription": {"text": rule.summary},
+            "fullDescription": {"text": rule.help},
+            "help": {"text": rule.help},
+            "defaultConfiguration": {"level": rule.severity.sarif_level},
+        }
+        for rule in ALL_RULES
+    ]
+    results: List[Dict[str, object]] = []
+    artifact_entries: List[Dict[str, object]] = []
+    for uri, findings in artifacts:
+        artifact_entries.append({"location": {"uri": uri}})
+        for finding in findings:
+            results.append(_result(finding, uri))
+    return {
+        "$schema": _SCHEMA_URI,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": tool_name,
+                        "version": __version__,
+                        "informationUri": _INFO_URI,
+                        "rules": rules,
+                    }
+                },
+                "artifacts": artifact_entries,
+                "results": results,
+            }
+        ],
+    }
+
+
+def sarif_json(
+    artifacts: Sequence[tuple], *, tool_name: str = "p4bid", indent: Optional[int] = 2
+) -> str:
+    """The SARIF log as a JSON string."""
+    return json.dumps(
+        sarif_document(artifacts, tool_name=tool_name), indent=indent, sort_keys=False
+    )

@@ -622,7 +622,11 @@ class Parser:
             return AnnotatedType(inner, label, span=open_angle.span.merge(close.span))
         span_start = token.span
         ty = self._parse_type()
-        return AnnotatedType(ty, None, span=span_start)
+        # Span the whole type, not just its first token: ``bit<8>`` and
+        # ``ipv4_t[4]`` span through the last consumed token, so SARIF
+        # regions cover the full type expression.
+        span_end = self._tokens[self._index - 1].span
+        return AnnotatedType(ty, None, span=span_start.merge(span_end))
 
     def _parse_type(self) -> Type:
         token = self._peek()

@@ -106,7 +106,13 @@ def _maximise_control_pcs(
     returned unchanged.
     """
     candidates = {}
-    for var in {var for _control, var in generation.control_pc_vars}:
+    # ``control_pc_vars`` pairs are walked through a set; sort by uid so the
+    # pin-constraint order (and everything downstream of it) is stable
+    # across runs regardless of PYTHONHASHSEED.
+    pc_vars = sorted(
+        {var for _control, var in generation.control_pc_vars}, key=lambda v: v.uid
+    )
+    for var in pc_vars:
         bounds = [
             evaluate(constraint.rhs, lattice, solution.assignment)
             for constraint in generation.constraints
@@ -300,6 +306,7 @@ class Solver:
             check_count=len(self.graph.checks),
         )
         solution.stats = stats
+        solution.graph = self.graph
         return solution
 
 
@@ -308,6 +315,7 @@ def infer_labels(
     lattice: Optional[Lattice] = None,
     *,
     allow_declassification: bool = False,
+    presolve: bool = False,
 ) -> InferenceResult:
     """Infer a least label assignment for ``program`` under ``lattice``.
 
@@ -332,7 +340,7 @@ def infer_labels(
         recorder.count("infer.runs")
         recorder.count("infer.constraints_generated", len(generation.constraints))
         recorder.count("infer.slots", len(generation.sites))
-    solution = solve(resolved, generation.constraints)
+    solution = solve(resolved, generation.constraints, presolve=presolve)
     if solution.ok and generation.control_pc_vars:
         with recorder.span("infer.maximise-pc", pcs=len(generation.control_pc_vars)):
             solution = _maximise_control_pcs(resolved, generation, solution)

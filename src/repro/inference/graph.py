@@ -112,6 +112,13 @@ class SolverStats:
     max_passes: int = 0
     components_solved: int = 0
     solve_ms: float = 0.0
+    #: What the constant-label pre-solve reduction (``solve(presolve=True)``,
+    #: :mod:`repro.analysis.presolve`) folded away before Kleene iteration:
+    #: variables whose least value was fixed by constant propagation, and
+    #: the edges into them that the schedule therefore never visited.
+    presolve_resolved_vars: int = 0
+    presolve_pruned_edges: int = 0
+    presolve_ms: float = 0.0
 
     def as_dict(self) -> Dict[str, Any]:
         return {
@@ -126,6 +133,9 @@ class SolverStats:
             "max_passes": self.max_passes,
             "components_solved": self.components_solved,
             "solve_ms": self.solve_ms,
+            "presolve_resolved_vars": self.presolve_resolved_vars,
+            "presolve_pruned_edges": self.presolve_pruned_edges,
+            "presolve_ms": self.presolve_ms,
         }
 
     def describe(self) -> str:
@@ -184,7 +194,11 @@ class PropagationGraph:
             _normalise(
                 self.lattice, constraint, constraint.lhs, constraint.rhs, raw, checks
             )
-            for var in constraint.variables():
+            # ``variables()`` is a frozenset; iterate it in uid order so the
+            # discovery order -- and with it the Tarjan visit order, the
+            # component numbering and ultimately unsat-core ordering -- is
+            # identical across runs regardless of PYTHONHASHSEED.
+            for var in sorted(constraint.variables(), key=lambda v: v.uid):
                 if var not in seen_vars:
                     seen_vars.add(var)
                     self.variables.append(var)
@@ -451,9 +465,21 @@ class PropagationGraph:
         return assignment
 
     def solve(
-        self, overrides: Optional[Mapping[LabelVar, Label]] = None
+        self,
+        overrides: Optional[Mapping[LabelVar, Label]] = None,
+        *,
+        presolve: bool = False,
     ) -> Solution:
-        """Full SCC-scheduled solve; least solution above ``overrides``."""
+        """Full SCC-scheduled solve; least solution above ``overrides``.
+
+        ``presolve=True`` runs the constant-label reduction
+        (:func:`repro.analysis.presolve.presolve_graph`) first: variables
+        whose least value is forced by constants alone are fixed up front
+        and their components skipped by the schedule, so the Kleene
+        iteration only ever sees the *live* region of the graph.  The
+        assignment and conflict set are identical either way (property
+        tested); only :class:`SolverStats` shows the difference.
+        """
         recorder = current_recorder()
         start = time.perf_counter()
         with recorder.span(
@@ -461,7 +487,25 @@ class PropagationGraph:
         ):
             stats = self._new_stats()
             assignment = self.fresh_assignment(overrides)
-            self.propagate(assignment, stats)
+            skip_components: Optional[Set[int]] = None
+            if presolve:
+                from repro.analysis.presolve import presolve_graph
+
+                reduction = presolve_graph(self, overrides)
+                reduction.apply(assignment, stats)
+                skip_components = reduction.resolved_components
+            if skip_components:
+                self.propagate(
+                    assignment,
+                    stats,
+                    (
+                        index
+                        for index in range(len(self.components))
+                        if index not in skip_components
+                    ),
+                )
+            else:
+                self.propagate(assignment, stats)
             conflicts = [c for c in self.check_conflicts(assignment) if c is not None]
         stats.solve_ms = (time.perf_counter() - start) * 1000.0
         if recorder.enabled:
@@ -469,6 +513,13 @@ class PropagationGraph:
             recorder.count("solver.edges_visited", stats.edges_visited)
             recorder.count("solver.worklist_pops", stats.worklist_pops)
             recorder.count("solver.conflicts", len(conflicts))
+            if presolve:
+                recorder.count(
+                    "solver.presolve.vars_resolved", stats.presolve_resolved_vars
+                )
+                recorder.count(
+                    "solver.presolve.edges_pruned", stats.presolve_pruned_edges
+                )
         solution = Solution(
             self.lattice,
             assignment,
@@ -478,6 +529,7 @@ class PropagationGraph:
             check_count=len(self.checks),
         )
         solution.stats = stats
+        solution.graph = self
         return solution
 
     def _new_stats(self) -> SolverStats:

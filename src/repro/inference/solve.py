@@ -111,6 +111,11 @@ class Solution:
     #: populated by the graph-based solver, ``None`` for the reference
     #: worklist solver's bare counters.
     stats: Optional["SolverStats"] = None
+    #: The propagation graph the solution was computed over (set by the
+    #: graph-based solvers).  Downstream analyses -- leak-path witnesses,
+    #: lint graph queries (:mod:`repro.analysis`) -- walk it instead of
+    #: re-normalising the constraints.
+    graph: Optional[object] = None
 
     @property
     def ok(self) -> bool:
@@ -170,17 +175,23 @@ def _normalise(
     checks.append((lhs, rhs, constraint))
 
 
-def solve(lattice: Lattice, constraints: List[Constraint]) -> Solution:
+def solve(
+    lattice: Lattice, constraints: List[Constraint], *, presolve: bool = False
+) -> Solution:
     """Solve ``constraints`` over ``lattice``; least solution plus conflicts.
 
     Builds the propagation graph, condenses it into SCCs and schedules the
     Kleene iteration in topological component order (see
-    :mod:`repro.inference.graph`).  For a persistent graph that supports
-    incremental re-solving, use :class:`repro.inference.engine.Solver`.
+    :mod:`repro.inference.graph`).  ``presolve=True`` additionally runs the
+    constant-label reduction of :mod:`repro.analysis.presolve` first, so
+    trivially fixed variables and their edges never enter the Kleene
+    iteration (the least solution and conflict set are unchanged).  For a
+    persistent graph that supports incremental re-solving, use
+    :class:`repro.inference.engine.Solver`.
     """
     from repro.inference.graph import PropagationGraph
 
-    return PropagationGraph(lattice, constraints).solve()
+    return PropagationGraph(lattice, constraints).solve(presolve=presolve)
 
 
 def solve_worklist(lattice: Lattice, constraints: List[Constraint]) -> Solution:

@@ -75,6 +75,41 @@ def build_arg_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--lint",
+        action="store_true",
+        help=(
+            "run the static-analysis lint rules (P4B0xx: redundant or slack "
+            "annotations, ineffective declassify, dead slots, unreachable "
+            "code) and report the findings"
+        ),
+    )
+    parser.add_argument(
+        "--explain-flows",
+        action="store_true",
+        help=(
+            "audit mode: enumerate every declassify-crossing source→sink "
+            "flow with its shortest leak-path witness (implies "
+            "--allow-declassify)"
+        ),
+    )
+    parser.add_argument(
+        "--sarif",
+        metavar="FILE",
+        help=(
+            "write every diagnostic and lint finding as a SARIF 2.1.0 log "
+            "(rule metadata plus physical locations with start/end regions)"
+        ),
+    )
+    parser.add_argument(
+        "--presolve",
+        action="store_true",
+        help=(
+            "with --infer, fold trivially fixed label variables before "
+            "Kleene iteration (same verdicts; smaller live graph, see "
+            "--solver-stats)"
+        ),
+    )
+    parser.add_argument(
         "--json", action="store_true", help="emit a JSON report instead of text"
     )
     parser.add_argument(
@@ -123,6 +158,26 @@ def build_arg_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _collect_findings(report, path: Path) -> list:
+    """Every diagnostic and lint finding of one report, as SARIF findings."""
+    from repro.analysis.sarif import (
+        finding_from_parse_error,
+        findings_from_core,
+        findings_from_diagnostics,
+    )
+
+    findings: list = []
+    if report.parse_error is not None:
+        findings.append(finding_from_parse_error(report.parse_error, str(path)))
+        return findings
+    findings.extend(findings_from_core(report.core_diagnostics))
+    findings.extend(findings_from_diagnostics(report.inference_diagnostics))
+    findings.extend(findings_from_diagnostics(report.ifc_diagnostics))
+    if report.analysis is not None:
+        findings.extend(report.analysis.findings)
+    return findings
+
+
 def _export_telemetry(
     recorder: TraceRecorder, args: argparse.Namespace, outputs: List[str]
 ) -> int:
@@ -156,10 +211,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         parser.error("--infer requires the security pass; drop --core-only")
     if args.solver_stats and not args.infer:
         parser.error("--solver-stats reports on the inference solver; add --infer")
+    if args.presolve and not args.infer:
+        parser.error("--presolve tunes the inference solver; add --infer")
+    if (args.lint or args.explain_flows) and args.core_only:
+        parser.error("static analysis needs the security pass; drop --core-only")
+    if args.explain_flows:
+        args.allow_declassify = True
     tracing = bool(args.trace or args.metrics or args.trace_summary)
     recorder = TraceRecorder() if tracing else None
     exit_code = 0
     outputs: List[str] = []
+    sarif_artifacts: List[tuple] = []
     for file_name in args.files:
         path = Path(file_name)
         try:
@@ -167,6 +229,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         except OSError as exc:
             print(f"p4bid: cannot read {file_name}: {exc}", file=sys.stderr)
             return 2
+        run_lint = args.lint or bool(args.sarif)
         if recorder is not None:
             with use_recorder(recorder):
                 report = check_source(
@@ -175,6 +238,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     include_ifc=not args.core_only,
                     infer=args.infer,
                     allow_declassification=args.allow_declassify,
+                    presolve=args.presolve,
+                    lint=run_lint,
+                    explain_released_flows=args.explain_flows,
                     filename=str(path),
                     name=path.stem,
                 )
@@ -185,9 +251,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 include_ifc=not args.core_only,
                 infer=args.infer,
                 allow_declassification=args.allow_declassify,
+                presolve=args.presolve,
+                lint=run_lint,
+                explain_released_flows=args.explain_flows,
                 filename=str(path),
                 name=path.stem,
             )
+        if args.sarif:
+            sarif_artifacts.append((str(path), _collect_findings(report, path)))
         if args.json:
             payload = json.loads(report_to_json(report))
             if args.summary:
@@ -205,6 +276,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             outputs.append(text)
         if not report.ok:
             exit_code = 1
+    if args.sarif:
+        from repro.analysis.sarif import sarif_json
+
+        try:
+            Path(args.sarif).write_text(
+                sarif_json(sarif_artifacts) + "\n", encoding="utf-8"
+            )
+        except OSError as exc:
+            print(f"p4bid: cannot write SARIF output: {exc}", file=sys.stderr)
+            return 2
     if recorder is not None:
         telemetry_code = _export_telemetry(recorder, args, outputs)
         if telemetry_code:

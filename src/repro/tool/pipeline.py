@@ -43,6 +43,10 @@ from repro.telemetry.recorder import (
 from repro.typechecker.checker import CoreCheckResult, check_core_types
 from repro.typechecker.errors import TypeDiagnostic
 
+if False:  # pragma: no cover - typing-only imports (cycle-free at runtime)
+    from repro.analysis.lints import ReleasedFlow
+    from repro.analysis.rules import Finding
+
 #: Span names of the solver intervals that constitute the "solve" sub-phase.
 _SOLVE_SPANS = ("solver.solve", "solver.resolve")
 
@@ -60,7 +64,7 @@ class PhaseTiming:
     """
 
     #: The phases that partition a pipeline run end to end.
-    TOP_LEVEL: ClassVar[Tuple[str, ...]] = ("parse", "core", "infer", "ifc")
+    TOP_LEVEL: ClassVar[Tuple[str, ...]] = ("parse", "core", "infer", "ifc", "analysis")
     #: Explicit sub-phase nesting: sub-phase -> the phase containing it.
     SUB_PHASES: ClassVar[Mapping[str, str]] = {"solve": "infer"}
 
@@ -68,6 +72,9 @@ class PhaseTiming:
     core_ms: float = 0.0
     infer_ms: float = 0.0
     ifc_ms: float = 0.0
+    #: The static-analysis phase (``--lint`` / ``--explain-flows``); zero
+    #: unless analysis was requested.
+    analysis_ms: float = 0.0
     #: The constraint-solving sub-phase of ``infer`` (see
     #: :data:`SUB_PHASES`); excluded from :attr:`total_ms` by construction.
     solve_ms: float = 0.0
@@ -113,6 +120,29 @@ class PhaseTiming:
 
 
 @dataclass
+class AnalysisOutcome:
+    """What the static-analysis phase produced for one program.
+
+    ``findings`` are the lint results (:mod:`repro.analysis.lints`);
+    ``released_flows`` are the ``--explain-flows`` audit paths, one per
+    declassify-crossing source→sink flow.
+    """
+
+    findings: List["Finding"] = field(default_factory=list)
+    released_flows: List["ReleasedFlow"] = field(default_factory=list)
+
+    @property
+    def worst_severity(self) -> Optional[str]:
+        order = {"note": 0, "warning": 1, "error": 2}
+        worst = None
+        for finding in self.findings:
+            level = finding.severity.value
+            if worst is None or order[level] > order[worst]:
+                worst = level
+        return worst
+
+
+@dataclass
 class CheckReport:
     """The outcome of running the P4BID pipeline over one program."""
 
@@ -122,6 +152,9 @@ class CheckReport:
     core_result: Optional[CoreCheckResult] = None
     inference_result: Optional[InferenceResult] = None
     ifc_result: Optional[IfcCheckResult] = None
+    #: Populated when the pipeline ran with ``lint=True`` or
+    #: ``explain_released_flows=True``.
+    analysis: Optional[AnalysisOutcome] = None
     timing: PhaseTiming = field(default_factory=PhaseTiming)
     lattice_name: str = "two-point"
     #: The recorder the pipeline's phase spans went to: the ambient
@@ -204,8 +237,11 @@ def _run_phases(
     include_ifc: bool,
     infer: bool,
     allow_declassification: bool,
+    presolve: bool = False,
+    lint: bool = False,
+    explain_released_flows: bool = False,
 ) -> None:
-    """The core → (infer) → ifc phases over an already-parsed program."""
+    """The core → (infer) → ifc → (analysis) phases over a parsed program."""
     with recorder.span("phase.core"):
         report.core_result = check_core_types(program)
 
@@ -215,7 +251,10 @@ def _run_phases(
     if infer:
         with recorder.span("phase.infer") as infer_span:
             report.inference_result = infer_labels(
-                program, lattice, allow_declassification=allow_declassification
+                program,
+                lattice,
+                allow_declassification=allow_declassification,
+                presolve=presolve,
             )
         stats = report.inference_result.solution.stats
         solver_spans_recorded = any(
@@ -239,6 +278,23 @@ def _run_phases(
             report.ifc_result = check_ifc(
                 target, lattice, allow_declassification=allow_declassification
             )
+    if lint or explain_released_flows:
+        # Analyses run over the *original* program: annotation lints reason
+        # about what the user wrote, not what elaboration filled in.
+        from repro.analysis import explain_flows as explain_released
+        from repro.analysis import run_lints
+
+        outcome = AnalysisOutcome()
+        with recorder.span("phase.analysis", lint=lint):
+            if lint:
+                outcome.findings = run_lints(
+                    program,
+                    lattice,
+                    allow_declassification=allow_declassification,
+                )
+            if explain_released_flows and allow_declassification:
+                outcome.released_flows = explain_released(program, lattice)
+        report.analysis = outcome
 
 
 def check_program(
@@ -248,6 +304,9 @@ def check_program(
     include_ifc: bool = True,
     infer: bool = False,
     allow_declassification: bool = False,
+    presolve: bool = False,
+    lint: bool = False,
+    explain_released_flows: bool = False,
     name: Optional[str] = None,
     recorder: Optional[Recorder] = None,
 ) -> CheckReport:
@@ -258,6 +317,10 @@ def check_program(
     When the constraint system is unsatisfiable the conflicts are reported
     as the report's diagnostics and the IFC phase is skipped (re-checking a
     partially solved program would only restate the same conflicts).
+    ``presolve=True`` runs the constant-label reduction before Kleene
+    iteration (same verdicts, smaller live graph).  ``lint=True`` and
+    ``explain_released_flows=True`` add the static-analysis phase
+    (:mod:`repro.analysis`) and populate :attr:`CheckReport.analysis`.
     """
     if infer and not include_ifc:
         raise ValueError(
@@ -277,6 +340,9 @@ def check_program(
             include_ifc=include_ifc,
             infer=infer,
             allow_declassification=allow_declassification,
+            presolve=presolve,
+            lint=lint,
+            explain_released_flows=explain_released_flows,
         )
     report.timing = PhaseTiming.from_spans(rec.spans[first_span:])
     report.trace = rec
@@ -290,6 +356,9 @@ def check_source(
     include_ifc: bool = True,
     infer: bool = False,
     allow_declassification: bool = False,
+    presolve: bool = False,
+    lint: bool = False,
+    explain_released_flows: bool = False,
     filename: str = "<input>",
     name: Optional[str] = None,
     recorder: Optional[Recorder] = None,
@@ -330,6 +399,9 @@ def check_source(
                 include_ifc=include_ifc,
                 infer=infer,
                 allow_declassification=allow_declassification,
+                presolve=presolve,
+                lint=lint,
+                explain_released_flows=explain_released_flows,
             )
     report.timing = PhaseTiming.from_spans(rec.spans[first_span:])
     report.trace = rec

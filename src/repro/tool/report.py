@@ -1,11 +1,46 @@
-"""Human-readable and machine-readable rendering of check reports."""
+"""Human-readable and machine-readable rendering of check reports.
+
+Inference conflicts are explained by *leak-path witnesses* by default --
+the shortest propagation chain from a source annotation to the failing
+obligation, ranked shortest-first (:mod:`repro.analysis.witness`); the
+flat unsat-core dump is still available under ``verbose``.  Lint findings
+and released-flow audits (``--lint`` / ``--explain-flows``) render as
+their own report sections and appear under the ``"analysis"`` key of the
+JSON report.
+"""
 
 from __future__ import annotations
 
 import json
-from typing import Any, Dict
+from typing import Any, Dict, List
 
+from repro.analysis.witness import witnesses_for_solution
+from repro.inference.engine import InferenceResult
+from repro.lattice.registry import get_lattice
 from repro.tool.pipeline import CheckReport
+
+
+def _conflict_lines(inference: InferenceResult, *, verbose: bool) -> List[str]:
+    """Conflicts as ranked witness chains (cores only under ``verbose``)."""
+    lattice = inference.lattice
+    lines = [str(diag) for diag in inference.generation.errors]
+    for witness in witnesses_for_solution(inference.solution):
+        conflict = witness.conflict
+        constraint = conflict.constraint
+        lines.append(
+            f"{constraint.span}: "
+            f"{constraint.reason or 'label constraint violated'}: inferred "
+            f"label {lattice.format_label(conflict.observed)} may not flow "
+            f"below {lattice.format_label(conflict.required)}"
+        )
+        for index, hop in enumerate(witness.hops):
+            lines.append(f"    {index + 1}. {hop.describe(lattice)}")
+        if verbose and conflict.core:
+            lines.append(
+                "    core: "
+                + "; ".join(str(c.span) for c in conflict.core)
+            )
+    return lines
 
 
 def format_report(
@@ -27,7 +62,9 @@ def format_report(
         lines.append(
             f"-- {len(report.inference_diagnostics)} label-inference conflict(s) --"
         )
-        lines.extend(str(diag) for diag in report.inference_diagnostics)
+        lines.extend(
+            _conflict_lines(report.inference_result, verbose=verbose)
+        )
     if report.ifc_diagnostics:
         lines.append(f"-- {len(report.ifc_diagnostics)} information-flow violation(s) --")
         lines.extend(str(diag) for diag in report.ifc_diagnostics)
@@ -76,6 +113,22 @@ def format_report(
             f"-- {len(report.ifc_result.declassifications)} audited release(s) --"
         )
         lines.extend(f"  {event}" for event in report.ifc_result.declassifications)
+    if report.analysis is not None:
+        findings = report.analysis.findings
+        lines.append(f"-- {len(findings)} lint finding(s) --")
+        lines.extend(f"  {finding.describe()}" for finding in findings)
+        if report.analysis.released_flows:
+            lattice = get_lattice(report.lattice_name)
+            lines.append(
+                f"-- {len(report.analysis.released_flows)} released flow(s) "
+                "(declassify audit) --"
+            )
+            for flow in report.analysis.released_flows:
+                lines.append(f"  released by {flow.site.describe()}:")
+                lines.extend(
+                    "    " + text
+                    for text in flow.witness.describe(lattice).splitlines()
+                )
     if verbose and report.ifc_result is not None:
         if report.ifc_result.function_bounds:
             lines.append("-- inferred action write bounds (pc_fn) --")
@@ -149,6 +202,42 @@ def report_to_dict(report: CheckReport) -> Dict[str, Any]:
                         "location": str(diag.span),
                     }
                     for diag in inference.diagnostics
+                ],
+                "witnesses": [
+                    {
+                        "length": witness.length,
+                        "location": str(witness.conflict.constraint.span),
+                        "hops": [
+                            {
+                                "location": str(hop.span),
+                                "description": hop.describe(inference.lattice),
+                            }
+                            for hop in witness.hops
+                        ],
+                    }
+                    for witness in witnesses_for_solution(inference.solution)
+                ],
+            }
+        ),
+        "analysis": (
+            None
+            if report.analysis is None
+            else {
+                "findings": [
+                    finding.as_dict() for finding in report.analysis.findings
+                ],
+                "released_flows": [
+                    {
+                        "site": flow.site.describe(),
+                        "location": str(flow.site.span),
+                        "witness": {
+                            "length": flow.witness.length,
+                            "hops": [
+                                str(hop.span) for hop in flow.witness.hops
+                            ],
+                        },
+                    }
+                    for flow in report.analysis.released_flows
                 ],
             }
         ),

@@ -73,6 +73,9 @@ class ProgramSummary:
     #: the recorder's counters (rule-site traffic, constraints emitted per
     #: rule, lattice-operation counts), keyed by counter name.
     metrics: Optional[Dict[str, int]] = None
+    #: When the pipeline ran the static-analysis phase (``--lint``): the
+    #: lint findings counted per rule code (``{"P4B002": 1, ...}``).
+    lints: Optional[Dict[str, int]] = None
 
     def as_dict(self) -> Dict:
         return {
@@ -82,6 +85,7 @@ class ProgramSummary:
             "declassifications": self.declassification_count,
             "solver": self.solver,
             "metrics": self.metrics,
+            "lints": self.lints,
             "controls": [
                 {
                     "name": control.name,
@@ -167,6 +171,11 @@ def summarise_report(report: CheckReport, lattice: Lattice) -> Optional[ProgramS
         summary.solver = inference.solution.stats.as_dict()
     if report.trace is not None and report.trace.counters:
         summary.metrics = dict(sorted(report.trace.counters.items()))
+    if report.analysis is not None:
+        counts: Dict[str, int] = {}
+        for finding in report.analysis.findings:
+            counts[finding.code] = counts.get(finding.code, 0) + 1
+        summary.lints = dict(sorted(counts.items()))
     return summary
 
 
@@ -207,4 +216,8 @@ def format_summary(summary: ProgramSummary) -> str:
         lines.append("telemetry counters:")
         for counter, value in summary.metrics.items():
             lines.append(f"    {counter:<40} {value}")
+    if summary.lints:
+        lines.append("lint findings by rule:")
+        for code, count in summary.lints.items():
+            lines.append(f"    {code:<40} {count}")
     return "\n".join(lines)

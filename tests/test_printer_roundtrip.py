@@ -106,3 +106,78 @@ def test_table_apply_printing():
     )
     text = pretty_print(program)
     assert "t.apply();" in text
+
+
+# ---------------------------------------------------------------------------
+# span integrity (SARIF regions need real start *and* end positions)
+
+
+def _spans(program):
+    for node in walk(program):
+        span = getattr(node, "span", None)
+        if span is not None and not span.is_unknown():
+            yield node, span
+
+
+@pytest.mark.parametrize(
+    "case_name",
+    ["d2r", "app", "lattice", "topology", "cache", "netchain"],
+)
+def test_spans_are_well_formed(case_name):
+    """Every parsed span is non-empty and runs forward (end >= start)."""
+    from repro.casestudies import get_case_study
+
+    case = get_case_study(case_name)
+    for source in (case.secure_source, case.insecure_source):
+        for node, span in _spans(parse_program(source)):
+            assert (span.end.line, span.end.column) >= (
+                span.start.line,
+                span.start.column,
+            ), f"{type(node).__name__} span runs backwards: {span}"
+
+
+def test_unannotated_type_spans_cover_the_whole_type():
+    """``bit<8>`` spans all seven characters, not just the ``bit`` token.
+
+    SARIF regions are built from these spans; a region that stops after
+    the first token underlines ``bit`` instead of ``bit<8>``.
+    """
+    source = (
+        "header h_t { bit<8> a; }\n"
+        "control C(inout h_t hdr) {\n"
+        "    bit<8> x = hdr.a;\n"
+        "    apply { hdr.a = x; }\n"
+        "}\n"
+    )
+    lines = source.splitlines()
+    program = parse_program(source)
+    types = [
+        node.ty
+        for node in walk(program)
+        if isinstance(node, d.VarDecl) or type(node).__name__ == "Param"
+    ]
+    unannotated = [ty for ty in types if ty.label is None]
+    assert len(unannotated) >= 2
+    covered = []
+    for ty in unannotated:
+        span = ty.span
+        assert span.start.line == span.end.line
+        covered.append(
+            lines[span.start.line - 1][span.start.column - 1 : span.end.column - 1]
+        )
+    assert sorted(covered) == ["bit<8>", "h_t"], f"type spans cover {covered!r}"
+
+
+def test_printed_spans_are_round_trip_stable():
+    """print -> parse -> print is a fixpoint, so spans stabilise too."""
+    from repro.casestudies import get_case_study
+
+    case = get_case_study("d2r")
+    printed = pretty_print(parse_program(case.secure_source))
+    once = parse_program(printed)
+    reprinted = pretty_print(once)
+    assert reprinted == printed
+    twice = parse_program(reprinted)
+    spans_once = [str(span) for _, span in _spans(once)]
+    spans_twice = [str(span) for _, span in _spans(twice)]
+    assert spans_once == spans_twice
