@@ -19,6 +19,11 @@ fully annotated program that the unmodified checker re-verifies.
 * :mod:`repro.inference.graph` -- the propagation-graph subsystem: edges
   deduplicated and condensed into SCCs (Tarjan), the Kleene iteration
   scheduled in topological component order, cone-of-influence queries.
+* :mod:`repro.inference.packed` -- the bit-packed array backend
+  (``solve(..., backend="packed")``): labels encoded as machine ints,
+  batched Kleene sweeps over flattened edge blocks, and independent SCC
+  clusters dispatched across a process pool -- with automatic fallback to
+  the object backend for lattices without an int encoding.
 * :mod:`repro.inference.elaborate` -- substitution of solved labels back
   into the AST.
 * :mod:`repro.inference.engine` -- the generate → solve → elaborate
@@ -47,7 +52,15 @@ from repro.inference.generate import (
     generate_constraints,
 )
 from repro.inference.graph import PropagationEdge, PropagationGraph, SolverStats
+from repro.inference.packed import (
+    CodecError,
+    LabelCodec,
+    PackedSystem,
+    codec_for,
+    solve_packed,
+)
 from repro.inference.solve import (
+    SOLVER_BACKENDS,
     InferenceConflict,
     InferenceError,
     Solution,
@@ -69,6 +82,7 @@ from repro.inference.terms import (
 )
 
 __all__ = [
+    "CodecError",
     "Constraint",
     "ConstraintSet",
     "ConstraintGenerator",
@@ -80,16 +94,20 @@ __all__ = [
     "InferenceResult",
     "InferredLabel",
     "JoinTerm",
+    "LabelCodec",
     "LabelVar",
     "MeetTerm",
+    "PackedSystem",
     "PropagationEdge",
     "PropagationGraph",
+    "SOLVER_BACKENDS",
     "Solution",
     "Solver",
     "SolverStats",
     "Term",
     "VarSupply",
     "VarTerm",
+    "codec_for",
     "elaborate_program",
     "evaluate",
     "free_vars",
@@ -98,5 +116,6 @@ __all__ = [
     "join_terms",
     "meet_terms",
     "solve",
+    "solve_packed",
     "solve_worklist",
 ]

@@ -86,7 +86,12 @@ class InferenceResult:
 
 
 def _maximise_control_pcs(
-    lattice: Lattice, generation: GenerationResult, solution: Solution
+    lattice: Lattice,
+    generation: GenerationResult,
+    solution: Solution,
+    *,
+    backend: str = "graph",
+    workers: int = 1,
 ) -> Solution:
     """Re-solve with each ``@pc(infer)`` variable pushed as high as it goes.
 
@@ -141,7 +146,12 @@ def _maximise_control_pcs(
         )
         for var, label in candidates.items()
     ]
-    boosted = solve(lattice, generation.constraints + freezes + pins)
+    boosted = solve(
+        lattice,
+        generation.constraints + freezes + pins,
+        backend=backend,
+        workers=workers,
+    )
     if not boosted.ok:
         return solution
     # Report the *user's* constraint system, not the internal augmented one
@@ -316,6 +326,8 @@ def infer_labels(
     *,
     allow_declassification: bool = False,
     presolve: bool = False,
+    backend: str = "graph",
+    solver_workers: int = 1,
 ) -> InferenceResult:
     """Infer a least label assignment for ``program`` under ``lattice``.
 
@@ -340,10 +352,22 @@ def infer_labels(
         recorder.count("infer.runs")
         recorder.count("infer.constraints_generated", len(generation.constraints))
         recorder.count("infer.slots", len(generation.sites))
-    solution = solve(resolved, generation.constraints, presolve=presolve)
+    solution = solve(
+        resolved,
+        generation.constraints,
+        presolve=presolve,
+        backend=backend,
+        workers=solver_workers,
+    )
     if solution.ok and generation.control_pc_vars:
         with recorder.span("infer.maximise-pc", pcs=len(generation.control_pc_vars)):
-            solution = _maximise_control_pcs(resolved, generation, solution)
+            solution = _maximise_control_pcs(
+                resolved,
+                generation,
+                solution,
+                backend=backend,
+                workers=solver_workers,
+            )
     inferred = [
         InferredLabel(
             site.hint,

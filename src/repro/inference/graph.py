@@ -119,9 +119,32 @@ class SolverStats:
     presolve_resolved_vars: int = 0
     presolve_pruned_edges: int = 0
     presolve_ms: float = 0.0
+    #: Which backend produced these stats: ``"graph"`` (the SCC-scheduled
+    #: object solver), ``"packed"`` (:mod:`repro.inference.packed`) or
+    #: ``"worklist"``.  The remaining fields are packed-backend counters:
+    #: time spent encoding the graph into int arrays, batched sweep count,
+    #: topological wave count / widest wave / independent cluster count of
+    #: the component DAG, the worker processes used, and -- when the packed
+    #: backend delegated back to the object solver -- why.
+    backend: str = "graph"
+    encode_ms: float = 0.0
+    sweeps: int = 0
+    waves: int = 0
+    max_wave_width: int = 0
+    clusters: int = 0
+    workers: int = 1
+    fallback_reason: str = ""
 
     def as_dict(self) -> Dict[str, Any]:
         return {
+            "backend": self.backend,
+            "encode_ms": self.encode_ms,
+            "sweeps": self.sweeps,
+            "waves": self.waves,
+            "max_wave_width": self.max_wave_width,
+            "clusters": self.clusters,
+            "workers": self.workers,
+            "fallback_reason": self.fallback_reason,
             "variables": self.variable_count,
             "edges": self.edge_count,
             "checks": self.check_count,
@@ -304,16 +327,20 @@ class PropagationGraph:
             )
             for component in self.components
         ]
+        # Cached once: stats snapshots read these per solve, and scanning
+        # 100k+ components each time is measurable at mega scale.
+        self._cyclic_count = sum(1 for cyclic in self._cyclic if cyclic)
+        self._largest = max((len(c) for c in self.components), default=0)
 
     # -- structure queries ---------------------------------------------------
 
     @property
     def cyclic_component_count(self) -> int:
-        return sum(1 for cyclic in self._cyclic if cyclic)
+        return self._cyclic_count
 
     @property
     def largest_component(self) -> int:
-        return max((len(c) for c in self.components), default=0)
+        return self._largest
 
     def cone_of(self, slots: Iterable[LabelVar]) -> Set[LabelVar]:
         """Forward closure of ``slots`` along the propagation edges.

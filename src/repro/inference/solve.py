@@ -175,8 +175,17 @@ def _normalise(
     checks.append((lhs, rhs, constraint))
 
 
+#: Names :func:`solve` accepts for its ``backend`` parameter.
+SOLVER_BACKENDS = ("graph", "packed", "worklist")
+
+
 def solve(
-    lattice: Lattice, constraints: List[Constraint], *, presolve: bool = False
+    lattice: Lattice,
+    constraints: List[Constraint],
+    *,
+    presolve: bool = False,
+    backend: str = "graph",
+    workers: int = 1,
 ) -> Solution:
     """Solve ``constraints`` over ``lattice``; least solution plus conflicts.
 
@@ -185,10 +194,36 @@ def solve(
     :mod:`repro.inference.graph`).  ``presolve=True`` additionally runs the
     constant-label reduction of :mod:`repro.analysis.presolve` first, so
     trivially fixed variables and their edges never enter the Kleene
-    iteration (the least solution and conflict set are unchanged).  For a
-    persistent graph that supports incremental re-solving, use
+    iteration (the least solution and conflict set are unchanged).
+
+    ``backend`` selects the solving engine over that same graph:
+
+    * ``"graph"`` (default) -- the SCC-scheduled object-label solver;
+    * ``"packed"`` -- the bit-packed array backend
+      (:mod:`repro.inference.packed`): labels encoded as machine ints,
+      batched Kleene sweeps, and -- with ``workers > 1`` -- independent
+      component clusters dispatched across a process pool.  Falls back to
+      ``"graph"`` automatically for lattices without a faithful int
+      encoding (see :attr:`SolverStats.fallback_reason`).  Identical
+      solutions, conflicts, cores and witnesses by construction;
+    * ``"worklist"`` -- the original single-worklist reference solver
+      (no ``presolve``/``workers`` support).
+
+    For a persistent graph that supports incremental re-solving, use
     :class:`repro.inference.engine.Solver`.
     """
+    if backend not in SOLVER_BACKENDS:
+        raise ValueError(
+            f"unknown solver backend {backend!r}; expected one of {SOLVER_BACKENDS}"
+        )
+    if backend == "worklist":
+        if presolve:
+            raise ValueError("the worklist reference backend does not support presolve")
+        return solve_worklist(lattice, constraints)
+    if backend == "packed":
+        from repro.inference.packed import solve_packed
+
+        return solve_packed(lattice, constraints, presolve=presolve, workers=workers)
     from repro.inference.graph import PropagationGraph
 
     return PropagationGraph(lattice, constraints).solve(presolve=presolve)

@@ -21,6 +21,16 @@ class ProductLattice(Lattice):
         self._right = right
         self.name = name or f"{left.name}*{right.name}"
 
+    @property
+    def left(self) -> Lattice:
+        """The first component lattice."""
+        return self._left
+
+    @property
+    def right(self) -> Lattice:
+        """The second component lattice."""
+        return self._right
+
     def labels(self) -> Iterable[Tuple[Label, Label]]:
         return tuple((a, b) for a in self._left.labels() for b in self._right.labels())
 

@@ -9,6 +9,7 @@ synthesise programs whose inference constraint systems reach 10k+
 constraints).
 """
 
+from repro.synth.constraints import constraint_label_count, mega_constraint_system
 from repro.synth.programs import (
     chain_pipeline_program,
     deep_dataflow_program,
@@ -19,7 +20,9 @@ from repro.synth.programs import (
 
 __all__ = [
     "chain_pipeline_program",
+    "constraint_label_count",
     "deep_dataflow_program",
+    "mega_constraint_system",
     "random_straightline_program",
     "scc_cycle_program",
     "wide_table_program",

@@ -110,6 +110,28 @@ def build_arg_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--backend",
+        choices=("graph", "packed", "worklist"),
+        default="graph",
+        help=(
+            "with --infer, select the constraint-solver backend: 'graph' "
+            "(SCC-scheduled object solver, default), 'packed' (bit-packed "
+            "int arrays with batched sweeps; falls back to 'graph' for "
+            "lattices without an int encoding), or 'worklist' (the "
+            "reference solver)"
+        ),
+    )
+    parser.add_argument(
+        "--solver-workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "with --backend packed, dispatch independent constraint "
+            "clusters across N worker processes (default 1: in-process)"
+        ),
+    )
+    parser.add_argument(
         "--json", action="store_true", help="emit a JSON report instead of text"
     )
     parser.add_argument(
@@ -213,6 +235,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         parser.error("--solver-stats reports on the inference solver; add --infer")
     if args.presolve and not args.infer:
         parser.error("--presolve tunes the inference solver; add --infer")
+    if args.backend != "graph" and not args.infer:
+        parser.error("--backend selects the inference solver; add --infer")
+    if args.solver_workers < 1:
+        parser.error("--solver-workers must be at least 1")
+    if args.solver_workers > 1 and args.backend != "packed":
+        parser.error("--solver-workers needs --backend packed")
+    if args.backend == "worklist" and args.presolve:
+        parser.error("the worklist reference backend does not support --presolve")
     if (args.lint or args.explain_flows) and args.core_only:
         parser.error("static analysis needs the security pass; drop --core-only")
     if args.explain_flows:
@@ -239,6 +269,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     infer=args.infer,
                     allow_declassification=args.allow_declassify,
                     presolve=args.presolve,
+                    backend=args.backend,
+                    solver_workers=args.solver_workers,
                     lint=run_lint,
                     explain_released_flows=args.explain_flows,
                     filename=str(path),
@@ -252,6 +284,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 infer=args.infer,
                 allow_declassification=args.allow_declassify,
                 presolve=args.presolve,
+                backend=args.backend,
+                solver_workers=args.solver_workers,
                 lint=run_lint,
                 explain_released_flows=args.explain_flows,
                 filename=str(path),

@@ -238,6 +238,8 @@ def _run_phases(
     infer: bool,
     allow_declassification: bool,
     presolve: bool = False,
+    backend: str = "graph",
+    solver_workers: int = 1,
     lint: bool = False,
     explain_released_flows: bool = False,
 ) -> None:
@@ -255,6 +257,8 @@ def _run_phases(
                 lattice,
                 allow_declassification=allow_declassification,
                 presolve=presolve,
+                backend=backend,
+                solver_workers=solver_workers,
             )
         stats = report.inference_result.solution.stats
         solver_spans_recorded = any(
@@ -305,6 +309,8 @@ def check_program(
     infer: bool = False,
     allow_declassification: bool = False,
     presolve: bool = False,
+    backend: str = "graph",
+    solver_workers: int = 1,
     lint: bool = False,
     explain_released_flows: bool = False,
     name: Optional[str] = None,
@@ -318,7 +324,10 @@ def check_program(
     as the report's diagnostics and the IFC phase is skipped (re-checking a
     partially solved program would only restate the same conflicts).
     ``presolve=True`` runs the constant-label reduction before Kleene
-    iteration (same verdicts, smaller live graph).  ``lint=True`` and
+    iteration (same verdicts, smaller live graph).  ``backend`` selects the
+    solving engine (``"graph"``, ``"packed"``, ``"worklist"`` -- see
+    :func:`repro.inference.solve.solve`) and ``solver_workers`` the packed
+    backend's process count.  ``lint=True`` and
     ``explain_released_flows=True`` add the static-analysis phase
     (:mod:`repro.analysis`) and populate :attr:`CheckReport.analysis`.
     """
@@ -341,6 +350,8 @@ def check_program(
             infer=infer,
             allow_declassification=allow_declassification,
             presolve=presolve,
+            backend=backend,
+            solver_workers=solver_workers,
             lint=lint,
             explain_released_flows=explain_released_flows,
         )
@@ -357,6 +368,8 @@ def check_source(
     infer: bool = False,
     allow_declassification: bool = False,
     presolve: bool = False,
+    backend: str = "graph",
+    solver_workers: int = 1,
     lint: bool = False,
     explain_released_flows: bool = False,
     filename: str = "<input>",
@@ -400,6 +413,8 @@ def check_source(
                 infer=infer,
                 allow_declassification=allow_declassification,
                 presolve=presolve,
+                backend=backend,
+                solver_workers=solver_workers,
                 lint=lint,
                 explain_released_flows=explain_released_flows,
             )

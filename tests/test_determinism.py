@@ -49,9 +49,13 @@ from repro.frontend.parser import parse_program
 from repro.inference import infer_labels
 from repro.lattice.registry import get_lattice
 
+backend = sys.argv[1] if len(sys.argv) > 1 else "graph"
+workers = int(sys.argv[2]) if len(sys.argv) > 2 else 1
 source = sys.stdin.read()
 lattice = get_lattice("two-point")
-result = infer_labels(parse_program(source), lattice)
+result = infer_labels(
+    parse_program(source), lattice, backend=backend, solver_workers=workers
+)
 for conflict in result.solution.conflicts:
     print("conflict:", conflict)
     for constraint in conflict.core:
@@ -63,12 +67,12 @@ for diag in result.diagnostics:
 """
 
 
-def _run(seed: str) -> str:
+def _run(seed: str, backend: str = "graph", workers: int = 1) -> str:
     env = dict(os.environ)
     env["PYTHONHASHSEED"] = seed
     env["PYTHONPATH"] = str(SRC_DIR)
     completed = subprocess.run(
-        [sys.executable, "-c", SCRIPT],
+        [sys.executable, "-c", SCRIPT, backend, str(workers)],
         input=PROGRAM,
         capture_output=True,
         text=True,
@@ -85,3 +89,26 @@ def test_conflicts_cores_and_witnesses_are_hashseed_stable():
     assert "leak path" in baseline
     for seed, output in outputs.items():
         assert output == baseline, f"PYTHONHASHSEED={seed} changed solver output"
+
+
+def test_packed_backend_is_hashseed_stable_and_matches_graph():
+    """The packed backend's conflicts, cores, and witnesses are byte-identical
+    across hash seeds *and* byte-identical to the graph backend's output (the
+    bitset encoding is declaration-ordered, never hash-ordered)."""
+    graph_baseline = _run("0", backend="graph")
+    outputs = {seed: _run(seed, backend="packed") for seed in ("0", "1", "42")}
+    baseline = outputs["0"]
+    assert "conflict:" in baseline and "core:" in baseline
+    assert "leak path" in baseline
+    assert baseline == graph_baseline, "packed output diverged from graph"
+    for seed, output in outputs.items():
+        assert output == baseline, f"PYTHONHASHSEED={seed} changed packed output"
+
+
+def test_packed_backend_is_worker_count_stable():
+    """Byte-identical output whether clusters are solved serially or merged
+    back from a pool of worker processes."""
+    baseline = _run("0", backend="packed", workers=1)
+    for workers in (2, 4):
+        output = _run("0", backend="packed", workers=workers)
+        assert output == baseline, f"workers={workers} changed packed output"

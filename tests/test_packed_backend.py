@@ -1,0 +1,284 @@
+"""Differential harness: the packed backend vs the object backends.
+
+The packed solver re-encodes the whole problem (labels as machine ints,
+edges as flat arrays, Kleene iteration as batched sweeps, independent
+clusters across worker processes), so its correctness argument is pinned
+empirically here: on random constraint systems and random synthesised
+programs, across every registered lattice, ``backend="packed"`` must
+produce *identical* least solutions, conflicts, uid-ordered unsat cores,
+and leak-path witnesses to ``backend="graph"`` and to the seed
+:func:`~repro.inference.solve_worklist` -- including under
+``presolve=True`` and for any worker count.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import witnesses_for_solution
+from repro.frontend.parser import parse_program
+from repro.inference import (
+    Constraint,
+    ConstTerm,
+    JoinTerm,
+    MeetTerm,
+    VarSupply,
+    VarTerm,
+    generate_constraints,
+    join_terms,
+    solve,
+    solve_worklist,
+)
+from repro.lattice.chain import ChainLattice
+from repro.lattice.registry import available_lattices, get_lattice
+from repro.synth import mega_constraint_system, random_straightline_program
+
+LATTICE_NAMES = sorted(set(available_lattices()) | {"chain-3", "chain-5"})
+
+
+# ---------------------------------------------------------------------------
+# the differential assertion
+
+
+def _conflict_key(lattice, conflict):
+    return (
+        conflict.constraint,
+        lattice.format_label(conflict.observed),
+        lattice.format_label(conflict.required),
+        conflict.core,
+    )
+
+
+def _witness_lines(lattice, solution):
+    return [w.describe(lattice) for w in witnesses_for_solution(solution)]
+
+
+def _assert_backends_agree(lattice, constraints, *, presolve=False, workers=(1,)):
+    """Packed (at every worker count) == graph == worklist, in full detail."""
+    graph_solution = solve(lattice, constraints, presolve=presolve)
+    packed_solutions = [
+        solve(
+            lattice,
+            constraints,
+            backend="packed",
+            presolve=presolve,
+            workers=n,
+        )
+        for n in workers
+    ]
+    references = [("graph", graph_solution)]
+    if not presolve:  # the seed worklist has no presolve mode
+        references.append(("worklist", solve_worklist(lattice, constraints)))
+
+    for packed in packed_solutions:
+        assert packed.stats.backend == "packed", packed.stats.fallback_reason
+        for ref_name, reference in references:
+            all_vars = set(packed.assignment) | set(reference.assignment)
+            for var in all_vars:
+                assert lattice.equal(
+                    packed.value_of(var), reference.value_of(var)
+                ), f"packed disagrees with {ref_name} on {var}"
+            packed_conflicts = sorted(
+                (_conflict_key(lattice, c) for c in packed.conflicts), key=repr
+            )
+            ref_conflicts = sorted(
+                (_conflict_key(lattice, c) for c in reference.conflicts), key=repr
+            )
+            assert packed_conflicts == ref_conflicts, (
+                f"packed conflicts/cores differ from {ref_name}"
+            )
+        # Witnesses need the propagation graph; compare against the graph
+        # backend, which always carries one.
+        assert _witness_lines(lattice, packed) == _witness_lines(
+            lattice, graph_solution
+        )
+    return packed_solutions[0]
+
+
+# ---------------------------------------------------------------------------
+# random constraint systems, every lattice
+
+
+def _constraint_systems(draw, lattice, n_vars):
+    """A random system of propagation + check constraints over ``n_vars``."""
+    supply = VarSupply()
+    variables = [supply.fresh(f"v{i}") for i in range(n_vars)]
+    labels = list(lattice.labels())
+
+    def atom():
+        if draw(st.booleans()):
+            return VarTerm(draw(st.sampled_from(variables)))
+        return ConstTerm(draw(st.sampled_from(labels)))
+
+    constraints = []
+    for _ in range(draw(st.integers(min_value=0, max_value=12))):
+        lhs_atoms = [atom() for _ in range(draw(st.integers(min_value=1, max_value=3)))]
+        lhs = join_terms(lattice, lhs_atoms)
+        target = draw(st.sampled_from(variables))
+        constraints.append(Constraint(lhs, VarTerm(target)))
+    # Checks (possibly failing -> conflicts, cores, witnesses to compare).
+    for _ in range(draw(st.integers(min_value=0, max_value=3))):
+        constraints.append(
+            Constraint(
+                VarTerm(draw(st.sampled_from(variables))),
+                ConstTerm(draw(st.sampled_from(labels))),
+            )
+        )
+    # Meet right-hand sides decompose; meet left-hand sides hit the
+    # expression-compiled edge path in the packed backend.
+    if draw(st.booleans()) and n_vars >= 2:
+        constraints.append(
+            Constraint(
+                MeetTerm((VarTerm(variables[0]), VarTerm(variables[1]))),
+                VarTerm(draw(st.sampled_from(variables))),
+            )
+        )
+    return variables, constraints
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data(), name=st.sampled_from(LATTICE_NAMES))
+def test_packed_matches_object_backends_on_random_systems(data, name):
+    lattice = get_lattice(name)
+    _, constraints = _constraint_systems(data.draw, lattice, n_vars=4)
+    _assert_backends_agree(lattice, constraints)
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.data(), name=st.sampled_from(LATTICE_NAMES))
+def test_packed_matches_graph_under_presolve(data, name):
+    """presolve=True composes with the packed backend exactly as with graph."""
+    lattice = get_lattice(name)
+    _, constraints = _constraint_systems(data.draw, lattice, n_vars=4)
+    _assert_backends_agree(lattice, constraints, presolve=True)
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=st.data(), name=st.sampled_from(LATTICE_NAMES))
+def test_packed_is_worker_count_invariant(data, name):
+    """Identical output for 1, 2, and 4 worker processes."""
+    lattice = get_lattice(name)
+    _, constraints = _constraint_systems(data.draw, lattice, n_vars=5)
+    _assert_backends_agree(lattice, constraints, workers=(1, 2, 4))
+
+
+# ---------------------------------------------------------------------------
+# random synthesised programs, every lattice
+
+
+_PROGRAM_LEVELS = {
+    "two-point": ["low", "high"],
+    "diamond": ["bot", "A", "top"],
+}
+
+
+def _program_levels(lattice):
+    if lattice.name in _PROGRAM_LEVELS:
+        return _PROGRAM_LEVELS[lattice.name]
+    if isinstance(lattice, ChainLattice):
+        return list(lattice.levels)
+    raise AssertionError(f"no program levels defined for {lattice.name!r}")
+
+
+def _unannotate_fields(source: str, levels, keep) -> str:
+    for level in levels:
+        if level not in keep:
+            source = source.replace(
+                f"<bit<8>, {level}> f_{level};", f"bit<8> f_{level};"
+            )
+    return source
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    name=st.sampled_from(LATTICE_NAMES),
+    data=st.data(),
+)
+def test_packed_matches_object_backends_on_synth_programs(seed, name, data):
+    """Partially annotated random programs: both satisfiable and leaking
+    systems, solved identically by every backend."""
+    lattice = get_lattice(name)
+    levels = _program_levels(lattice)
+    source = random_straightline_program(seed, statements=6, levels=levels)
+    keep = {level for level in levels if data.draw(st.booleans(), label=level)}
+    program = parse_program(_unannotate_fields(source, levels, keep))
+    generation = generate_constraints(program, lattice)
+    assert not generation.errors
+    _assert_backends_agree(lattice, generation.constraints, presolve=False)
+    _assert_backends_agree(lattice, generation.constraints, presolve=True)
+
+
+# ---------------------------------------------------------------------------
+# mega-scale generator systems (structure the parallel scheduler exploits)
+
+
+@pytest.mark.parametrize("name", ["two-point", "diamond", "chain-5"])
+def test_packed_matches_graph_on_mega_systems(name):
+    lattice = get_lattice(name)
+    constraints, tails = mega_constraint_system(
+        3_000, lattice, seed=7, chains=16, cycle_every=41
+    )
+    packed = _assert_backends_agree(
+        lattice, constraints, workers=(1, 2)
+    )
+    assert packed.stats.clusters >= 16
+    assert any(
+        not lattice.equal(packed.value_of(tail), lattice.bottom) for tail in tails
+    )
+
+
+def test_packed_mega_system_with_presolve():
+    lattice = get_lattice("diamond")
+    constraints, _ = mega_constraint_system(2_000, lattice, seed=3, chains=8)
+    _assert_backends_agree(lattice, constraints, presolve=True, workers=(1, 2))
+
+
+# ---------------------------------------------------------------------------
+# edge cases
+
+
+def test_empty_system():
+    lattice = get_lattice("two-point")
+    solution = solve(lattice, [], backend="packed")
+    assert solution.ok
+    assert solution.stats.backend == "packed"
+    assert solution.assignment == {}
+
+
+def test_unknown_backend_rejected():
+    lattice = get_lattice("two-point")
+    with pytest.raises(ValueError, match="backend"):
+        solve(lattice, [], backend="simd")
+
+
+def test_cyclic_system_converges_identically():
+    lattice = get_lattice("diamond")
+    supply = VarSupply()
+    a, b, c = (supply.fresh(h) for h in "abc")
+    constraints = [
+        Constraint(ConstTerm("A"), VarTerm(a)),
+        Constraint(VarTerm(a), VarTerm(b)),
+        Constraint(VarTerm(b), VarTerm(c)),
+        Constraint(VarTerm(c), VarTerm(a)),  # genuine SCC
+        Constraint(ConstTerm("B"), VarTerm(b)),
+    ]
+    packed = _assert_backends_agree(lattice, constraints, workers=(1, 2))
+    assert packed.value_of(a) == "top"
+
+
+def test_join_lhs_with_cover_matches():
+    """JoinTerm left sides and checks-with-conflicts through the packed path."""
+    lattice = get_lattice("diamond")
+    supply = VarSupply()
+    a, b = supply.fresh("a"), supply.fresh("b")
+    constraints = [
+        Constraint(ConstTerm("A"), VarTerm(a)),
+        Constraint(JoinTerm((VarTerm(a), ConstTerm("B"))), VarTerm(b)),
+        Constraint(VarTerm(b), ConstTerm("A")),  # fails: top ⋢ A
+    ]
+    packed = _assert_backends_agree(lattice, constraints)
+    assert not packed.ok
+    assert len(packed.conflicts) == 1
