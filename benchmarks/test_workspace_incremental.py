@@ -1,0 +1,154 @@
+"""Workspace incrementality: edit -> re-check latency vs a cold check.
+
+The session workspace's whole reason to exist is that re-checking after an
+edit costs the *edit's* cone, not the program.  This benchmark pins that
+claim on a 10,000-constraint system (100 shards x depth 100 of
+:func:`repro.synth.sharded_dataflow_program`) and **hard-fails** if the
+warm path is not strictly cheaper than the cold path -- both in wall time
+(minimum over repetitions, so shared-runner noise cannot flip the verdict)
+and in the noise-free work counters (edges visited, units re-walked).
+
+Measured end to end, the honest way: the warm number includes re-parsing
+the edited source and the structural diff; the cold number is a fresh
+workspace opening and checking the same source.  Results land in
+``benchmarks/results/BENCH_workspace.json``.
+
+Set ``P4BID_SOLVER_BENCH_SMOKE=1`` to run the same assertions at reduced
+size (the CI smoke job does); the 10k-constraint floor is only asserted at
+full size.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.synth import sharded_dataflow_program
+from repro.workspace import Workspace
+
+SMOKE = os.environ.get("P4BID_SOLVER_BENCH_SMOKE", "") not in {"", "0"}
+SHARDS = 10 if SMOKE else 100
+#: 100 shards x depth 101 = 10,100 constraints -- still >= 10k after the
+#: benchmark edit deletes the flipped seed's (now-trivial) constraint.
+DEPTH = 10 if SMOKE else 101
+CONSTRAINT_FLOOR = 0 if SMOKE else 10_000
+REPETITIONS = 2 if SMOKE else 3
+
+
+def _edit_flipping(source: str, shard: int) -> str:
+    edited = source.replace(
+        f"header shard{shard}_t {{\n    <bit<8>, high> seed;",
+        f"header shard{shard}_t {{\n    <bit<8>, low> seed;",
+    )
+    assert edited != source
+    return edited
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, (time.perf_counter() - start) * 1000.0
+
+
+def test_warm_recheck_strictly_cheaper_than_cold(record_json):
+    source = sharded_dataflow_program(SHARDS, depth=DEPTH)
+    target = SHARDS // 2
+
+    warm_ms, cold_ms = [], []
+    warm_report = cold_report = None
+    for _ in range(REPETITIONS):
+        edited = _edit_flipping(source, target)
+
+        workspace = Workspace()
+        assert workspace.open(source, filename="<input>")
+        workspace.check(infer=True)  # converge the session before the edit
+
+        def warm_recheck():
+            assert workspace.edit(edited)
+            return workspace.check(infer=True)
+
+        warm_report, elapsed = _timed(warm_recheck)
+        warm_ms.append(elapsed)
+        regen = workspace.stats()["regen"]
+
+        fresh = Workspace()
+
+        def cold_check():
+            assert fresh.open(edited, filename="<input>")
+            return fresh.check(infer=True)
+
+        cold_report, elapsed = _timed(cold_check)
+        cold_ms.append(elapsed)
+
+    constraints = cold_report.inference_result.constraint_count
+    assert constraints >= CONSTRAINT_FLOOR
+
+    # Same answers, warm and cold -- the latency comparison is meaningless
+    # otherwise.
+    assert (
+        warm_report.inference_result.assignment_by_hint()
+        == cold_report.inference_result.assignment_by_hint()
+    )
+
+    warm_stats = warm_report.inference_result.solution.stats
+    cold_stats = cold_report.inference_result.solution.stats
+
+    # The noise-free incrementality claims: a one-header edit re-walked
+    # three units out of 3*SHARDS and revisited a sliver of the edges.
+    assert regen["units_rewalked"] == 3
+    assert regen["units_reused"] == 3 * SHARDS - 3
+    assert warm_stats.edges_visited < cold_stats.edges_visited
+
+    # The headline hard-fail: incremental re-check strictly cheaper than a
+    # cold check of the same revision.
+    best_warm, best_cold = min(warm_ms), min(cold_ms)
+    assert best_warm < best_cold, (
+        f"warm re-check ({best_warm:.1f} ms) is not cheaper than a cold "
+        f"check ({best_cold:.1f} ms) at {constraints} constraints"
+    )
+
+    record_json(
+        "BENCH_workspace.json",
+        {
+            "incremental_recheck": {
+                "smoke": SMOKE,
+                "shards": SHARDS,
+                "depth": DEPTH,
+                "constraints": constraints,
+                "repetitions": REPETITIONS,
+                "warm_ms": round(best_warm, 3),
+                "cold_ms": round(best_cold, 3),
+                "speedup": round(best_cold / best_warm, 3),
+                "units_rewalked": regen["units_rewalked"],
+                "units_reused": regen["units_reused"],
+                "warm_edges_visited": warm_stats.edges_visited,
+                "cold_edges_visited": cold_stats.edges_visited,
+            }
+        },
+    )
+
+
+def test_pin_resolve_latency(record_json):
+    """Pinning one slot over a warm 10k-constraint session re-solves only
+    the pin's cone; record the latency next to the cold solve for scale."""
+    source = sharded_dataflow_program(SHARDS, depth=DEPTH)
+    workspace = Workspace()
+    assert workspace.open(source, filename="<input>")
+    report = workspace.check(infer=True)
+    hint = next(iter(report.inference_result.assignment_by_hint()))
+
+    _, pin_ms = _timed(lambda: workspace.pin(hint, "high"))
+    pinned, infer_ms = _timed(workspace.infer)
+    assert workspace.lattice.format_label(pinned.assignment_by_hint()[hint]) == "high"
+
+    record_json(
+        "BENCH_workspace.json",
+        {
+            "pin_resolve": {
+                "smoke": SMOKE,
+                "constraints": report.inference_result.constraint_count,
+                "pin_ms": round(pin_ms, 3),
+                "infer_after_pin_ms": round(infer_ms, 3),
+            }
+        },
+    )

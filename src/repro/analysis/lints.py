@@ -350,14 +350,21 @@ def explain_flows(program: Program, lattice: Lattice) -> List[ReleasedFlow]:
 
 
 def _dead_slot_findings(
-    program: Program, lattice: Lattice, *, allow_declassification: bool
+    program: Program,
+    lattice: Lattice,
+    *,
+    allow_declassification: bool,
+    generation=None,
+    graph=None,
 ) -> List[Finding]:
-    generation = generate_constraints(
-        program, lattice, allow_declassification=allow_declassification
-    )
+    if generation is None:
+        generation = generate_constraints(
+            program, lattice, allow_declassification=allow_declassification
+        )
     if generation.errors:
         return []
-    graph = PropagationGraph(lattice, generation.constraints)
+    if graph is None:
+        graph = PropagationGraph(lattice, generation.constraints)
     read_vars = set(graph.dependents)  # appears on some edge's left side
     for lhs, rhs, _origin in graph.checks:
         read_vars |= free_vars(lhs) | free_vars(rhs)
@@ -430,12 +437,18 @@ def run_lints(
     lattice: Lattice,
     *,
     allow_declassification: bool = False,
+    generation=None,
+    graph=None,
 ) -> List[Finding]:
     """Run every lint rule over ``program``; findings in source order.
 
     P4B003 probes only run when declassification is honoured
     (``allow_declassification``) -- otherwise every release site is
     already an error and "ineffective" is meaningless.
+
+    A warm workspace passes its cached ``generation`` and propagation
+    ``graph`` so the graph-query lints skip the redundant constraint
+    re-generation; the findings are identical either way.
     """
     recorder = current_recorder()
     with recorder.span("analysis.lint"):
@@ -455,6 +468,8 @@ def run_lints(
                 _dead_slot_findings(
                     program, lattice,
                     allow_declassification=allow_declassification,
+                    generation=generation,
+                    graph=graph,
                 )
             )
         with recorder.span("analysis.lint.unreachable"):

@@ -23,14 +23,19 @@ from repro.ifc.errors import IfcDiagnostic
 from repro.inference.constraints import Constraint
 from repro.inference.elaborate import elaborate_program
 from repro.inference.generate import GenerationResult, generate_constraints
-from repro.inference.graph import PropagationGraph
+from repro.inference.graph import NormalisationCache, PropagationGraph
 from repro.inference.solve import InferenceConflict, Solution, solve
 from repro.inference.terms import (
     ConstTerm,
+    JoinTerm,
     LabelVar,
+    MeetTerm,
+    Term,
     VarTerm,
     evaluate,
     free_vars,
+    join_terms,
+    meet_terms,
 )
 from repro.lattice.base import Label, Lattice
 from repro.lattice.two_point import TwoPointLattice
@@ -188,9 +193,24 @@ class Solver:
     exactly the assignment a from-scratch solve with the same pins would.
     """
 
-    def __init__(self, lattice: Lattice, constraints: Sequence[Constraint]) -> None:
+    def __init__(
+        self,
+        lattice: Lattice,
+        constraints: Sequence[Constraint],
+        *,
+        cache: Optional[NormalisationCache] = None,
+        backend: str = "graph",
+        workers: int = 1,
+        graph: Optional[PropagationGraph] = None,
+    ) -> None:
         self.lattice = lattice
-        self.graph = PropagationGraph(lattice, constraints)
+        self.backend = backend
+        self.workers = workers
+        self._cache = cache
+        #: ``graph`` lets a caller that already built the propagation graph
+        #: over exactly these constraints (e.g. a workspace adopting a cold
+        #: solution) hand it over instead of paying a second construction.
+        self.graph = graph or PropagationGraph(lattice, constraints, cache=cache)
         self._pins: Dict[LabelVar, Label] = {}
         self._assignment: Optional[Dict[LabelVar, Label]] = None
         #: Cached per-check verdicts, aligned with ``graph.checks``.
@@ -300,6 +320,224 @@ class Solver:
         self._solution = self._snapshot(stats)
         return self._solution
 
+    def adopt(self, solution: Solution) -> None:
+        """Seed the persistent state from an externally computed solution.
+
+        Used by a workspace whose *initial* solve ran through another
+        backend (``solve(..., backend="packed")``): the assignment is
+        taken over, the per-check verdicts are re-derived against this
+        solver's graph (so they are aligned for incremental updates), and
+        ``solution`` becomes the cached result.  Only valid before any
+        pin has been applied.
+        """
+        if self._pins:
+            raise ValueError("adopt() requires a pristine solver (no pins)")
+        self._assignment = dict(solution.assignment)
+        for var in self.graph.variables:
+            self._assignment.setdefault(var, self.lattice.bottom)
+        self._check_results = self.graph.check_conflicts(self._assignment)
+        self._solution = solution
+
+    def rebase(
+        self,
+        constraints: Sequence[Constraint],
+        *,
+        pins: Optional[Mapping[LabelVar, Label]] = None,
+    ) -> Solution:
+        """Re-anchor the solver on an edited constraint system.
+
+        Where :meth:`resolve` handles *pin* edits over a fixed system,
+        ``rebase`` handles *structural* edits: the constraint list itself
+        changed (a workspace re-generated some declarations).  The new
+        propagation graph is built (through the shared
+        :class:`~repro.inference.graph.NormalisationCache`, so surviving
+        constraints skip term decomposition), and only the cone of
+        influence of what actually changed is re-solved:
+
+        * seeds are the targets of *added or removed* edges (by the
+          ``(lhs, target, cover)`` dedup key), variables new to the
+          system, and variables whose pin changed;
+        * every surviving variable outside the cone keeps its converged
+          value -- correct because a variable none of whose in-edges
+          changed, and none of whose sources changed value, is still at
+          its least fixpoint (a changed source would put it in the
+          forward closure);
+        * check verdicts migrate: a check that previously *passed* and
+          whose variables lie outside the cone keeps its verdict;
+          failing or cone-touching checks are re-evaluated against the
+          new graph (conflicts embed provenance and cores, which must
+          reflect the new system).
+
+        ``pins`` optionally replaces the pin set wholesale (the workspace
+        re-keys pins across re-allocated slot variables); ``None`` keeps
+        the current pins.  Removing a pin this way restores the inferred
+        least solution for that slot, exactly as ``resolve({slot: None})``
+        does over a fixed system.
+        """
+        recorder = current_recorder()
+        start = time.perf_counter()
+        old_graph = self.graph
+        old_pins = self._pins
+        new_pins = dict(pins) if pins is not None else dict(old_pins)
+        cache_hits_before = self._cache.hits if self._cache is not None else 0
+        new_graph = PropagationGraph(self.lattice, constraints, cache=self._cache)
+        if self._assignment is None:
+            self.graph = new_graph
+            self._pins = new_pins
+            self._check_results = []
+            self._check_vars = [
+                free_vars(lhs) | free_vars(rhs) for lhs, rhs, _ in new_graph.checks
+            ]
+            self._solution = None
+            return self.solve()
+        old_assignment = self._assignment
+        old_keys = {(e.lhs, e.target, e.cover) for e in old_graph.edges}
+        new_keys = {(e.lhs, e.target, e.cover) for e in new_graph.edges}
+        added = new_keys - old_keys
+        removed = old_keys - new_keys
+        seeds = set()
+        for _lhs, target, _cover in added:
+            seeds.add(target)
+        for _lhs, target, _cover in removed:
+            if target in new_graph.component_of:
+                seeds.add(target)
+        carried: Dict[LabelVar, Label] = {}
+        for var in new_graph.variables:
+            value = old_assignment.get(var)
+            if value is None:
+                seeds.add(var)
+                value = self.lattice.bottom
+            carried[var] = value
+        for var in set(old_pins) | set(new_pins):
+            if var not in new_graph.component_of:
+                continue
+            before, after = old_pins.get(var), new_pins.get(var)
+            if (before is None) != (after is None) or (
+                before is not None and not self.lattice.equal(before, after)
+            ):
+                seeds.add(var)
+        self._pins = new_pins
+        cone = new_graph.cone_of(seeds)
+        components = {new_graph.component_of[var] for var in cone}
+        with recorder.span(
+            "solver.rebase",
+            edges_added=len(added),
+            edges_removed=len(removed),
+            seeds=len(seeds),
+            cone=len(cone),
+            components=len(components),
+        ):
+            stats = new_graph._new_stats()
+            for var in cone:
+                pin = self._pins.get(var)
+                carried[var] = pin if pin is not None else self.lattice.bottom
+            if components:
+                if self.backend == "graph":
+                    new_graph.propagate(carried, stats, components)
+                else:
+                    self._solve_cone_packed(new_graph, cone, carried, stats)
+            for var, label in self._pins.items():
+                if var not in new_graph.component_of:
+                    carried[var] = label
+            passed = {
+                (lhs, rhs)
+                for (lhs, rhs, _origin), verdict in zip(
+                    old_graph.checks, self._check_results
+                )
+                if verdict is None
+            }
+            self._check_vars = [
+                free_vars(lhs) | free_vars(rhs) for lhs, rhs, _ in new_graph.checks
+            ]
+            results: List[Optional[InferenceConflict]] = [None] * len(new_graph.checks)
+            affected = [
+                index
+                for index, (lhs, rhs, _origin) in enumerate(new_graph.checks)
+                if (lhs, rhs) not in passed or (self._check_vars[index] & cone)
+            ]
+            self.graph = new_graph
+            self._assignment = carried
+            for index, verdict in zip(
+                affected, new_graph.check_conflicts(carried, affected)
+            ):
+                results[index] = verdict
+            self._check_results = results
+        stats.solve_ms = (time.perf_counter() - start) * 1000.0
+        if recorder.enabled:
+            recorder.count("solver.rebase.calls")
+            recorder.count("solver.rebase.edges_added", len(added))
+            recorder.count("solver.rebase.edges_removed", len(removed))
+            recorder.count("solver.rebase.cone_vars", len(cone))
+            recorder.count(
+                "solver.rebase.vars_reused", len(new_graph.variables) - len(cone)
+            )
+            recorder.count("solver.rebase.checks_reevaluated", len(affected))
+            recorder.count(
+                "solver.rebase.checks_cached", len(results) - len(affected)
+            )
+            if self._cache is not None:
+                recorder.count(
+                    "solver.rebase.normalisations_cached",
+                    self._cache.hits - cache_hits_before,
+                )
+        self._solution = self._snapshot(stats)
+        return self._solution
+
+    def _solve_cone_packed(
+        self,
+        graph: PropagationGraph,
+        cone,
+        carried: Dict[LabelVar, Label],
+        stats,
+    ) -> None:
+        """Re-solve the cone through the configured (packed) backend.
+
+        The cone is forward-closed, so every in-edge of a cone variable
+        has converged sources outside it: substituting those sources with
+        their carried values yields a *self-contained* subsystem whose
+        least solution is exactly the restriction of the global one.
+        Pins become explicit floor constraints.  Checks, cores and
+        witnesses are never computed here -- they always run against the
+        main graph, so the output is byte-identical across backends.
+        """
+        sub: List[Constraint] = []
+        edge_indices = sorted(
+            {index for var in cone for index in graph.edges_into.get(var, ())}
+        )
+        for index in edge_indices:
+            edge = graph.edges[index]
+            lhs = _substitute(edge.lhs, cone, carried, self.lattice)
+            if edge.cover is None:
+                rhs: Term = VarTerm(edge.target)
+            else:
+                rhs = join_terms(
+                    self.lattice, [VarTerm(edge.target), ConstTerm(edge.cover)]
+                )
+            sub.append(Constraint(lhs, rhs, edge.origin.span, edge.origin.rule))
+        for var in sorted(cone, key=lambda v: v.uid):
+            pin = self._pins.get(var)
+            if pin is not None:
+                sub.append(
+                    Constraint(ConstTerm(pin), VarTerm(var), var.span, rule="@pin")
+                )
+        solution = solve(
+            self.lattice, sub, backend=self.backend, workers=self.workers
+        )
+        for var in cone:
+            carried[var] = solution.value_of(var)
+        sub_stats = solution.stats
+        if sub_stats is not None:
+            stats.backend = sub_stats.backend
+            stats.encode_ms = sub_stats.encode_ms
+            stats.sweeps = sub_stats.sweeps
+            stats.waves = sub_stats.waves
+            stats.max_wave_width = sub_stats.max_wave_width
+            stats.clusters = sub_stats.clusters
+            stats.workers = sub_stats.workers
+            stats.fallback_reason = sub_stats.fallback_reason
+            stats.edges_visited = sub_stats.edges_visited
+            stats.worklist_pops = sub_stats.worklist_pops
+
     def _apply_pin(self, var: LabelVar, label: Optional[Label]) -> None:
         if label is None:
             self._pins.pop(var, None)
@@ -318,6 +556,28 @@ class Solver:
         solution.stats = stats
         solution.graph = self.graph
         return solution
+
+
+def _substitute(
+    term: Term,
+    cone,
+    carried: Dict[LabelVar, Label],
+    lattice: Lattice,
+) -> Term:
+    """Replace out-of-cone variables in ``term`` with their carried values."""
+    if isinstance(term, VarTerm):
+        if term.var in cone:
+            return term
+        return ConstTerm(carried.get(term.var, lattice.bottom))
+    if isinstance(term, JoinTerm):
+        return join_terms(
+            lattice, [_substitute(part, cone, carried, lattice) for part in term.parts]
+        )
+    if isinstance(term, MeetTerm):
+        return meet_terms(
+            lattice, [_substitute(part, cone, carried, lattice) for part in term.parts]
+        )
+    return term
 
 
 def infer_labels(

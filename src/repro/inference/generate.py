@@ -142,11 +142,18 @@ class SiteRegistry:
     def __init__(self, supply: VarSupply) -> None:
         self._supply = supply
         self._sites: Dict[int, InferenceSite] = {}
-        self._hints: Dict[int, str] = {}
+        #: Pending hints, keyed by node identity; the node itself is kept
+        #: (not just its id) so the mapping survives serialization, where
+        #: ids are reassigned on load.
+        self._hints: Dict[int, Tuple[AnnotatedType, str]] = {}
         self._order: List[InferenceSite] = []
+        #: When not None, every ``var_for`` resolution (fresh *or* memoised)
+        #: is appended here -- a workspace records one log per re-walked
+        #: declaration to learn which sites the declaration touches.
+        self._touch_log: Optional[List[InferenceSite]] = None
 
     def suggest_hint(self, node: AnnotatedType, hint: str) -> None:
-        self._hints.setdefault(id(node), hint)
+        self._hints.setdefault(id(node), (node, hint))
 
     def var_for(
         self,
@@ -157,12 +164,15 @@ class SiteRegistry:
     ) -> LabelVar:
         site = self._sites.get(id(node))
         if site is None:
-            hint = self._hints.get(id(node), f"annotation at {node.span}")
+            hinted = self._hints.get(id(node))
+            hint = hinted[1] if hinted is not None else f"annotation at {node.span}"
             site = InferenceSite(
                 self._supply.fresh(hint, node.span), node, hint, augments, floor
             )
             self._sites[id(node)] = site
             self._order.append(site)
+        if self._touch_log is not None:
+            self._touch_log.append(site)
         return site.var
 
     def site_of(self, node: AnnotatedType) -> Optional[InferenceSite]:
@@ -170,6 +180,37 @@ class SiteRegistry:
 
     def sites(self) -> List[InferenceSite]:
         return list(self._order)
+
+    # -- workspace support --------------------------------------------------
+
+    def begin_touch_log(self) -> None:
+        self._touch_log = []
+
+    def end_touch_log(self) -> List[InferenceSite]:
+        log, self._touch_log = self._touch_log or [], None
+        return log
+
+    def restrict_to(self, sites: List[InferenceSite]) -> None:
+        """Replace the site order (dropping sites of deleted declarations)."""
+        self._order = list(sites)
+        self._sites = {id(site.node): site for site in self._order}
+        self._hints = {
+            id(node): (node, hint) for node, hint in self._hints.values()
+        }
+
+    def __getstate__(self) -> dict:
+        return {
+            "supply": self._supply,
+            "order": self._order,
+            "hints": list(self._hints.values()),
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self._supply = state["supply"]
+        self._order = list(state["order"])
+        self._sites = {id(site.node): site for site in self._order}
+        self._hints = {id(node): (node, hint) for node, hint in state["hints"]}
+        self._touch_log = None
 
 
 class InferenceLabeler(TypeLabeler):

@@ -64,6 +64,67 @@ from repro.telemetry.instrument import CountingLattice
 from repro.telemetry.recorder import current_recorder
 
 
+class NormalisationCache:
+    """Memoised constraint normalisation, shared across graph rebuilds.
+
+    :func:`~repro.inference.solve._normalise` decomposes a constraint into
+    propagation-edge shapes and residual checks purely from its ``(lhs,
+    rhs)`` term pair -- the span, rule and provenance ride along untouched.
+    A workspace rebuilding its graph after an edit therefore re-derives
+    identical shapes for every *surviving* constraint; this cache skips
+    that re-derivation (the originating constraint is re-attached per
+    call, so provenance stays exact).
+
+    The decomposition consults the lattice (constant folding of join
+    covers), so a cache is bound to one lattice and refuses reuse under
+    another.
+    """
+
+    def __init__(self, lattice: Lattice) -> None:
+        self.lattice = lattice
+        self._memo: Dict[
+            Tuple[Term, Term],
+            Tuple[
+                Tuple[Tuple[Term, LabelVar, Optional[Label]], ...],
+                Tuple[Tuple[Term, Term], ...],
+            ],
+        ] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._memo)
+
+    def normalise(
+        self,
+        constraint: Constraint,
+        raw: List[Tuple[Term, LabelVar, Constraint, Optional[Label]]],
+        checks: List[Tuple[Term, Term, Constraint]],
+    ) -> None:
+        """Append ``constraint``'s shapes to ``raw`` / ``checks``."""
+        key = (constraint.lhs, constraint.rhs)
+        entry = self._memo.get(key)
+        if entry is None:
+            self.misses += 1
+            local_raw: List[Tuple[Term, LabelVar, Constraint, Optional[Label]]] = []
+            local_checks: List[Tuple[Term, Term, Constraint]] = []
+            _normalise(
+                self.lattice, constraint, constraint.lhs, constraint.rhs,
+                local_raw, local_checks,
+            )
+            entry = (
+                tuple((lhs, target, cover) for lhs, target, _c, cover in local_raw),
+                tuple((lhs, rhs) for lhs, rhs, _c in local_checks),
+            )
+            self._memo[key] = entry
+        else:
+            self.hits += 1
+        for lhs, target, cover in entry[0]:
+            raw.append((lhs, target, constraint, cover))
+        for lhs, rhs in entry[1]:
+            checks.append((lhs, rhs, constraint))
+
+
 @dataclass(frozen=True)
 class PropagationEdge:
     """One deduplicated propagation edge ``lhs → target``.
@@ -180,7 +241,18 @@ class PropagationGraph:
     incremental re-solving then only *schedule* over this structure.
     """
 
-    def __init__(self, lattice: Lattice, constraints: Sequence[Constraint]) -> None:
+    def __init__(
+        self,
+        lattice: Lattice,
+        constraints: Sequence[Constraint],
+        *,
+        cache: Optional[NormalisationCache] = None,
+    ) -> None:
+        if cache is not None and cache.lattice is not lattice:
+            raise ValueError(
+                "normalisation cache was built for a different lattice"
+            )
+        self._cache = cache
         self.lattice = lattice
         self.constraints: List[Constraint] = list(constraints)
         self.edges: List[PropagationEdge] = []
@@ -214,9 +286,12 @@ class PropagationGraph:
         checks: List[Tuple[Term, Term, Constraint]] = []
         seen_vars: Set[LabelVar] = set()
         for constraint in self.constraints:
-            _normalise(
-                self.lattice, constraint, constraint.lhs, constraint.rhs, raw, checks
-            )
+            if self._cache is not None:
+                self._cache.normalise(constraint, raw, checks)
+            else:
+                _normalise(
+                    self.lattice, constraint, constraint.lhs, constraint.rhs, raw, checks
+                )
             # ``variables()`` is a frozenset; iterate it in uid order so the
             # discovery order -- and with it the Tarjan visit order, the
             # component numbering and ultimately unsat-core ordering -- is

@@ -73,6 +73,14 @@ from repro.syntax.declarations import (
 from repro.syntax.program import Program
 from repro.syntax.visitor import AstVisitor, walk
 from repro.syntax.printer import pretty_print
+from repro.syntax.digest import (
+    RespanMismatch,
+    declared_names,
+    iter_tree,
+    referenced_names,
+    respan,
+    unit_fingerprint,
+)
 
 __all__ = [
     "SourceSpan",
@@ -132,4 +140,11 @@ __all__ = [
     "AstVisitor",
     "walk",
     "pretty_print",
+    # structural digests (incremental workspaces)
+    "RespanMismatch",
+    "declared_names",
+    "iter_tree",
+    "referenced_names",
+    "respan",
+    "unit_fingerprint",
 ]

@@ -1,0 +1,193 @@
+"""Structural digests of top-level declarations, for incremental sessions.
+
+A :class:`~repro.workspace.session.Workspace` re-checks an edited program
+by diffing it against the previous revision *per top-level unit* (a named
+declaration or a control block).  The diff needs three ingredients, all
+provided here:
+
+* :func:`unit_fingerprint` -- a content hash of one unit, computed over
+  its pretty-printed text.  The printer emits no spans, no whitespace
+  variation and no comments, so the fingerprint is stable under
+  formatting-only edits and under the unit merely *moving* inside the
+  file;
+* :func:`declared_names` / :func:`referenced_names` -- the names a unit
+  exports to later units and the names it (conservatively) depends on,
+  from which the diff derives an *environment signature* so a unit is
+  re-walked when a declaration it references changed, even if its own
+  text did not;
+* :func:`respan` -- when a unit's content is unchanged but its position
+  shifted, the previous revision's AST (whose node identities anchor the
+  cached constraints and label variables) is *re-spanned* in place to the
+  new positions, so diagnostics and witnesses render exactly as a cold
+  parse of the new source would.
+
+Re-spanning walks the old and new trees in lockstep.  The shapes are
+guaranteed equal -- both parse to the same pretty-printed text -- but the
+walk still verifies every node type and scalar field and raises
+:class:`RespanMismatch` on any disagreement, letting the caller fall back
+to a full re-walk of the unit rather than corrupt cached state.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from typing import Dict, FrozenSet, Iterator, Tuple, Union
+
+from repro.syntax import declarations as d
+from repro.syntax import expressions as e
+from repro.syntax.printer import pretty_print
+from repro.syntax.source import Position, SourceSpan
+from repro.syntax.types import TypeName
+
+#: One top-level unit of a program: a named declaration or a control block.
+Unit = Union[d.Declaration, d.ControlDecl]
+
+
+def unit_fingerprint(unit: Unit) -> str:
+    """A content hash of ``unit``: sha256 over its pretty-printed text.
+
+    Positions, surrounding whitespace and comments do not participate, so
+    two parses of differently formatted sources yield equal fingerprints
+    exactly when the units are structurally identical.
+    """
+    return hashlib.sha256(pretty_print(unit).encode("utf-8")).hexdigest()
+
+
+def _is_node(value: object) -> bool:
+    """Whether ``value`` is an AST node (vs. a scalar or a span)."""
+    return dataclasses.is_dataclass(value) and not isinstance(
+        value, (SourceSpan, Position)
+    )
+
+
+#: Field names per node type.  ``dataclasses.fields`` allocates a fresh
+#: tuple of Field objects on every call; the tree walks here visit
+#: hundreds of thousands of nodes per revision, so the lookup is cached.
+_FIELD_NAMES: Dict[type, Tuple[str, ...]] = {}
+
+
+def _field_names(node: object) -> Tuple[str, ...]:
+    names = _FIELD_NAMES.get(type(node))
+    if names is None:
+        names = tuple(f.name for f in dataclasses.fields(node))  # type: ignore[arg-type]
+        _FIELD_NAMES[type(node)] = names
+    return names
+
+
+def iter_tree(node: object) -> Iterator[object]:
+    """Pre-order walk of *every* AST node under ``node``.
+
+    Unlike :func:`repro.syntax.visitor.walk` this descends into type
+    annotations (:class:`~repro.syntax.types.AnnotatedType` trees, fields,
+    parameters), which is what fingerprint-adjacent consumers need: the
+    annotation slots live there.
+    """
+    yield node
+    for name in _field_names(node):
+        value = getattr(node, name)
+        yield from _iter_value(value)
+
+
+def _iter_value(value: object) -> Iterator[object]:
+    if _is_node(value):
+        yield from iter_tree(value)
+    elif isinstance(value, tuple):
+        for item in value:
+            yield from _iter_value(item)
+
+
+def declared_names(unit: Unit) -> Tuple[str, ...]:
+    """The names ``unit`` binds for *later* top-level units.
+
+    Control blocks bind nothing outward (their parameters and locals live
+    in a child scope), so they return ``()``.
+    """
+    if isinstance(unit, d.MatchKindDecl):
+        return tuple(unit.members)
+    if isinstance(
+        unit,
+        (d.VarDecl, d.TypedefDecl, d.HeaderDecl, d.StructDecl, d.FunctionDecl, d.TableDecl),
+    ):
+        return (unit.name,)
+    return ()
+
+
+def referenced_names(unit: Unit) -> FrozenSet[str]:
+    """Every name ``unit`` may look up in the surrounding environment.
+
+    Deliberately conservative (it includes the unit's own local names and
+    match kinds): a false positive only widens the set of units re-walked
+    after an edit, never narrows it.
+    """
+    names = set()
+    for node in iter_tree(unit):
+        if isinstance(node, e.Var):
+            names.add(node.name)
+        elif isinstance(node, e.Call) and isinstance(node.callee, e.Var):
+            names.add(node.callee.name)
+        elif isinstance(node, d.ActionRef):
+            names.add(node.name)
+        elif isinstance(node, d.TableKey):
+            names.add(node.match_kind)
+        elif isinstance(node, TypeName):
+            names.add(node.name)
+    return frozenset(names)
+
+
+class RespanMismatch(Exception):
+    """The old and new trees disagree structurally; re-spanning is unsafe."""
+
+
+def respan(old: Unit, new: Unit) -> Dict[SourceSpan, SourceSpan]:
+    """Rewrite ``old``'s spans in place to ``new``'s, returning the map.
+
+    ``old`` and ``new`` must be structurally identical (equal
+    :func:`unit_fingerprint`); every node of ``old`` receives the span of
+    its counterpart in ``new``, via ``object.__setattr__`` (the nodes are
+    frozen dataclasses, but slot descriptors honour it, and no node's hash
+    or equality depends on its span in a way the rewrite could corrupt:
+    spans only feed diagnostics).  The returned dict maps each *changed*
+    old span to its replacement, so cached values that embed spans
+    (constraints, diagnostics) can be rebuilt with
+    ``span_map.get(span, span)``.
+    """
+    span_map: Dict[SourceSpan, SourceSpan] = {}
+    _respan_node(old, new, span_map)
+    return span_map
+
+
+def _respan_node(old: object, new: object, span_map: Dict[SourceSpan, SourceSpan]) -> None:
+    if type(old) is not type(new):
+        raise RespanMismatch(f"{type(old).__name__} vs {type(new).__name__}")
+    for name in _field_names(old):
+        old_value = getattr(old, name)
+        new_value = getattr(new, name)
+        if isinstance(old_value, SourceSpan):
+            if not isinstance(new_value, SourceSpan):
+                raise RespanMismatch(f"span field {name} became {new_value!r}")
+            if old_value != new_value:
+                span_map[old_value] = new_value
+                object.__setattr__(old, name, new_value)
+        elif _is_node(old_value) or _is_node(new_value):
+            _respan_node(old_value, new_value, span_map)
+        elif isinstance(old_value, tuple) and isinstance(new_value, tuple):
+            _respan_tuple(old_value, new_value, span_map)
+        elif old_value != new_value:
+            raise RespanMismatch(
+                f"field {name}: {old_value!r} != {new_value!r}"
+            )
+
+
+def _respan_tuple(
+    old: tuple, new: tuple, span_map: Dict[SourceSpan, SourceSpan]
+) -> None:
+    if len(old) != len(new):
+        raise RespanMismatch(f"tuple length {len(old)} vs {len(new)}")
+    for old_item, new_item in zip(old, new):
+        if _is_node(old_item) or _is_node(new_item):
+            _respan_node(old_item, new_item, span_map)
+        elif isinstance(old_item, tuple) and isinstance(new_item, tuple):
+            _respan_tuple(old_item, new_item, span_map)
+        elif old_item != new_item:
+            raise RespanMismatch(f"tuple item {old_item!r} != {new_item!r}")

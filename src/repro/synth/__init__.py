@@ -15,6 +15,7 @@ from repro.synth.programs import (
     deep_dataflow_program,
     random_straightline_program,
     scc_cycle_program,
+    sharded_dataflow_program,
     wide_table_program,
 )
 
@@ -25,5 +26,6 @@ __all__ = [
     "mega_constraint_system",
     "random_straightline_program",
     "scc_cycle_program",
+    "sharded_dataflow_program",
     "wide_table_program",
 ]

@@ -294,3 +294,42 @@ def wide_table_program(
         + "\n".join(applies)
         + "\n    }\n}\n"
     )
+
+
+def sharded_dataflow_program(
+    shards: int,
+    *,
+    depth: int = 8,
+    source_level: str = "high",
+    width: int = 8,
+) -> str:
+    """``shards`` fully independent def-use chains, one control each.
+
+    Every shard gets its own header, struct, and control block, and no
+    shard references another's declarations -- so an edit confined to one
+    shard leaves every other top-level unit byte-identical.  This is the
+    workload the incremental workspace is measured on: a single-shard
+    edit must re-walk one control (plus its changed declarations) and
+    re-solve one shard's constraints, never the other ``shards - 1``.
+    """
+    if shards < 1 or depth < 1:
+        raise ValueError("sharded_dataflow_program needs shards >= 1 and depth >= 1")
+    parts: List[str] = []
+    for shard in range(shards):
+        fields = [f"    <bit<{width}>, {source_level}> seed;"]
+        fields.extend(f"    bit<{width}> s{i};" for i in range(depth))
+        parts.append(
+            f"header shard{shard}_t {{\n" + "\n".join(fields) + "\n}\n"
+        )
+        parts.append(f"struct shard{shard}_headers {{ shard{shard}_t data; }}\n")
+    for shard in range(shards):
+        body = ["        hdr.data.s0 = hdr.data.seed;"]
+        body.extend(
+            f"        hdr.data.s{i} = hdr.data.s{i - 1};" for i in range(1, depth)
+        )
+        parts.append(
+            f"control Shard{shard}(inout shard{shard}_headers hdr) {{\n    apply {{\n"
+            + "\n".join(body)
+            + "\n    }\n}\n"
+        )
+    return "\n".join(parts)

@@ -226,9 +226,88 @@ def _export_telemetry(
     return 0
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
-    parser = build_arg_parser()
+def build_serve_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="p4bid serve",
+        description=(
+            "Serve a warm P4BID workspace over newline-delimited JSON-RPC "
+            "2.0 (stdin/stdout by default): open a program once, then "
+            "re-check edits incrementally without restarting the pipeline."
+        ),
+    )
+    parser.add_argument(
+        "--tcp",
+        metavar="HOST:PORT",
+        help=(
+            "listen on a TCP socket instead of stdin/stdout (one workspace "
+            "per connection)"
+        ),
+    )
+    parser.add_argument(
+        "--lattice",
+        default="two-point",
+        help=(
+            "security lattice the workspace checks against "
+            f"(available: {', '.join(available_lattices())}, or chain-N)"
+        ),
+    )
+    parser.add_argument(
+        "--allow-declassify",
+        action="store_true",
+        help="honour the audited declassify()/endorse() primitives",
+    )
+    parser.add_argument(
+        "--presolve",
+        action="store_true",
+        help="fold trivially fixed label variables before Kleene iteration",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("graph", "packed", "worklist"),
+        default="graph",
+        help="constraint-solver backend for the workspace (default: graph)",
+    )
+    parser.add_argument(
+        "--solver-workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the packed backend (default 1)",
+    )
+    return parser
+
+
+def serve_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of ``p4bid serve``."""
+    from repro.workspace.rpc import serve_stdio, serve_tcp
+
+    parser = build_serve_arg_parser()
     args = parser.parse_args(argv)
+    if args.solver_workers < 1:
+        parser.error("--solver-workers must be at least 1")
+    if args.solver_workers > 1 and args.backend != "packed":
+        parser.error("--solver-workers needs --backend packed")
+    options = {
+        "lattice": args.lattice,
+        "allow_declassification": args.allow_declassify,
+        "presolve": args.presolve,
+        "backend": args.backend,
+        "solver_workers": args.solver_workers,
+    }
+    if args.tcp:
+        host, _, port_text = args.tcp.rpartition(":")
+        if not host or not port_text.isdigit():
+            parser.error("--tcp expects HOST:PORT")
+        return serve_tcp(host, int(port_text), **options)
+    return serve_stdio(**options)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    if arguments and arguments[0] == "serve":
+        return serve_main(arguments[1:])
+    parser = build_arg_parser()
+    args = parser.parse_args(arguments)
     if args.infer and args.core_only:
         parser.error("--infer requires the security pass; drop --core-only")
     if args.solver_stats and not args.infer:

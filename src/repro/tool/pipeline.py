@@ -18,6 +18,14 @@ the disabled default pays a handful of span objects per program and
 nothing per edge or rule site.  Either way :class:`PhaseTiming` -- what
 the Table 1 benchmark and the reports consume -- is a **projection of the
 span tree**, not a parallel bookkeeping path.
+
+Since the session workspace landed, :func:`check_program` and
+:func:`check_source` are thin facades over a one-shot
+:class:`~repro.workspace.Workspace`: every phase above actually runs
+inside the workspace's regeneration/solve machinery, which a one-shot
+check simply never re-enters.  Long-lived callers (``p4bid serve``,
+editor integrations) hold the workspace open instead and pay only each
+edit's cone on re-checks.
 """
 
 from __future__ import annotations
@@ -25,11 +33,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, ClassVar, Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
-from repro.frontend.errors import FrontendError
-from repro.frontend.parser import parse_program
 from repro.ifc.checker import IfcCheckResult, check_ifc
 from repro.ifc.errors import IfcDiagnostic
-from repro.inference.engine import InferenceResult, infer_labels
+from repro.inference.engine import InferenceResult
 from repro.lattice.base import Lattice
 from repro.lattice.registry import get_lattice
 from repro.lattice.two_point import TwoPointLattice
@@ -40,15 +46,16 @@ from repro.telemetry.recorder import (
     TraceRecorder,
     current_recorder,
 )
-from repro.typechecker.checker import CoreCheckResult, check_core_types
+from repro.typechecker.checker import CoreCheckResult
 from repro.typechecker.errors import TypeDiagnostic
+from repro.workspace.session import Workspace
 
 if False:  # pragma: no cover - typing-only imports (cycle-free at runtime)
     from repro.analysis.lints import ReleasedFlow
     from repro.analysis.rules import Finding
 
 #: Span names of the solver intervals that constitute the "solve" sub-phase.
-_SOLVE_SPANS = ("solver.solve", "solver.resolve")
+_SOLVE_SPANS = ("solver.solve", "solver.resolve", "solver.rebase")
 
 
 @dataclass
@@ -230,36 +237,25 @@ def _pipeline_recorder(recorder: Optional[Recorder]) -> TraceRecorder:
 
 def _run_phases(
     report: CheckReport,
-    program: Program,
-    lattice: Lattice,
+    workspace: Workspace,
     recorder: TraceRecorder,
     *,
     include_ifc: bool,
     infer: bool,
-    allow_declassification: bool,
-    presolve: bool = False,
-    backend: str = "graph",
-    solver_workers: int = 1,
     lint: bool = False,
     explain_released_flows: bool = False,
 ) -> None:
-    """The core → (infer) → ifc → (analysis) phases over a parsed program."""
+    """The core → (infer) → ifc → (analysis) phases over a parsed workspace."""
+    lattice = workspace.lattice
     with recorder.span("phase.core"):
-        report.core_result = check_core_types(program)
+        report.core_result = workspace.core()
 
     if not include_ifc:
         return
-    target: Optional[Program] = program
+    target: Optional[Program] = workspace.program
     if infer:
         with recorder.span("phase.infer") as infer_span:
-            report.inference_result = infer_labels(
-                program,
-                lattice,
-                allow_declassification=allow_declassification,
-                presolve=presolve,
-                backend=backend,
-                solver_workers=solver_workers,
-            )
+            report.inference_result = workspace.infer()
         stats = report.inference_result.solution.stats
         solver_spans_recorded = any(
             span.name in _SOLVE_SPANS and span.sid > infer_span.sid
@@ -280,25 +276,71 @@ def _run_phases(
     if target is not None:
         with recorder.span("phase.ifc", recheck=infer):
             report.ifc_result = check_ifc(
-                target, lattice, allow_declassification=allow_declassification
+                target,
+                lattice,
+                allow_declassification=workspace.allow_declassification,
             )
     if lint or explain_released_flows:
         # Analyses run over the *original* program: annotation lints reason
         # about what the user wrote, not what elaboration filled in.
         from repro.analysis import explain_flows as explain_released
-        from repro.analysis import run_lints
 
         outcome = AnalysisOutcome()
         with recorder.span("phase.analysis", lint=lint):
             if lint:
-                outcome.findings = run_lints(
-                    program,
-                    lattice,
-                    allow_declassification=allow_declassification,
-                )
-            if explain_released_flows and allow_declassification:
-                outcome.released_flows = explain_released(program, lattice)
+                outcome.findings = workspace.lint()
+            if explain_released_flows and workspace.allow_declassification:
+                outcome.released_flows = explain_released(workspace.program, lattice)
         report.analysis = outcome
+
+
+def check_workspace(
+    workspace: Workspace,
+    *,
+    include_ifc: bool = True,
+    infer: bool = False,
+    lint: bool = False,
+    explain_released_flows: bool = False,
+    name: Optional[str] = None,
+    recorder: Optional[Recorder] = None,
+) -> CheckReport:
+    """Run the pipeline phases over an (already opened) workspace.
+
+    This is the report engine shared by :func:`check_source` /
+    :func:`check_program` (which build a throwaway workspace) and the
+    JSON-RPC server (which keeps one warm): the phases read the
+    workspace's cached state, so over a warm workspace only what the
+    last edit invalidated is recomputed.
+    """
+    if infer and not include_ifc:
+        raise ValueError(
+            "infer=True requires the security pass; inference without the "
+            "IFC re-check has no verdict to report (drop include_ifc=False)"
+        )
+    report = CheckReport(
+        name or workspace.display_name, lattice_name=workspace.lattice.name
+    )
+    rec = _pipeline_recorder(recorder)
+    first_span = len(rec.spans)
+    with rec.span("pipeline.check", program=report.name, lattice=workspace.lattice.name):
+        report.parse_error = workspace.parse_error
+        if workspace.program is not None:
+            report.program = workspace.program
+            _run_phases(
+                report,
+                workspace,
+                rec,
+                include_ifc=include_ifc,
+                infer=infer,
+                lint=lint,
+                explain_released_flows=explain_released_flows,
+            )
+            # Re-generation assembles the revision from cached declaration
+            # nodes; the report must describe that assembled program.
+            report.program = workspace.program
+    report.timing = PhaseTiming.from_spans(rec.spans[first_span:])
+    report.trace = rec
+    return report
 
 
 def check_program(
@@ -337,27 +379,24 @@ def check_program(
             "IFC re-check has no verdict to report (drop include_ifc=False)"
         )
     resolved = _resolve_lattice(lattice)
-    report = CheckReport(name or program.name, program=program, lattice_name=resolved.name)
-    rec = _pipeline_recorder(recorder)
-    first_span = len(rec.spans)
-    with rec.span("pipeline.check", program=report.name, lattice=resolved.name):
-        _run_phases(
-            report,
-            program,
-            resolved,
-            rec,
-            include_ifc=include_ifc,
-            infer=infer,
-            allow_declassification=allow_declassification,
-            presolve=presolve,
-            backend=backend,
-            solver_workers=solver_workers,
-            lint=lint,
-            explain_released_flows=explain_released_flows,
-        )
-    report.timing = PhaseTiming.from_spans(rec.spans[first_span:])
-    report.trace = rec
-    return report
+    workspace = Workspace(
+        resolved,
+        allow_declassification=allow_declassification,
+        presolve=presolve,
+        backend=backend,
+        solver_workers=solver_workers,
+        name=name,
+    )
+    workspace.open_program(program)
+    return check_workspace(
+        workspace,
+        include_ifc=include_ifc,
+        infer=infer,
+        lint=lint,
+        explain_released_flows=explain_released_flows,
+        name=name or program.name,
+        recorder=recorder,
+    )
 
 
 def check_source(
@@ -392,32 +431,33 @@ def check_source(
             "IFC re-check has no verdict to report (drop include_ifc=False)"
         )
     resolved = _resolve_lattice(lattice)
+    workspace = Workspace(
+        resolved,
+        allow_declassification=allow_declassification,
+        presolve=presolve,
+        backend=backend,
+        solver_workers=solver_workers,
+        name=name,
+    )
     report = CheckReport(name or filename, lattice_name=resolved.name)
     rec = _pipeline_recorder(recorder)
     first_span = len(rec.spans)
     with rec.span("pipeline.check", program=report.name, lattice=resolved.name):
         with rec.span("phase.parse"):
-            try:
-                program = parse_program(source, filename, name=name)
-            except FrontendError as exc:
-                report.parse_error = str(exc)
-                program = None
-        if program is not None:
-            report.program = program
+            workspace.open(source, filename=filename)
+        report.parse_error = workspace.parse_error
+        if workspace.program is not None:
+            report.program = workspace.program
             _run_phases(
                 report,
-                program,
-                resolved,
+                workspace,
                 rec,
                 include_ifc=include_ifc,
                 infer=infer,
-                allow_declassification=allow_declassification,
-                presolve=presolve,
-                backend=backend,
-                solver_workers=solver_workers,
                 lint=lint,
                 explain_released_flows=explain_released_flows,
             )
+            report.program = workspace.program
     report.timing = PhaseTiming.from_spans(rec.spans[first_span:])
     report.trace = rec
     return report

@@ -1,0 +1,322 @@
+"""JSON-RPC 2.0 serving front end over a warm :class:`Workspace`.
+
+``p4bid serve`` speaks newline-delimited JSON-RPC 2.0 -- one request
+object per line, one response per line -- over stdin/stdout by default,
+or over TCP with ``--tcp HOST:PORT`` (one workspace per connection).
+The protocol is editor-agnostic on purpose: an LSP shim, a CI harness,
+or three lines of Python (see ``examples/serving_a_workspace.py``) can
+drive it.
+
+Methods (``params`` is always an object):
+
+====================  =====================================================
+``ping``              liveness probe; echoes ``params``
+``open``              ``{source, filename?, name?}`` -- install revision 1
+``edit``              ``{source}`` -- install the next revision
+``check``             ``{infer?, lint?, include_ifc?, explain_flows?}`` --
+                      full pipeline report over the warm state
+``infer``             solved slot assignment + diagnostics
+``pin``               ``{slot, label}`` (``label: null`` unpins)
+``unsat_core``        conflicts with their unsatisfiable cores
+``witnesses``         leak-path witnesses for the current conflicts
+``lint``              static-analysis findings over the warm graph
+``stats``             workspace/cache/solver counters snapshot
+``save`` / ``load``   ``{path}`` -- persist / restore the solved state
+``shutdown``          acknowledge and close the session
+====================  =====================================================
+
+Error codes follow the JSON-RPC 2.0 spec: ``-32700`` parse error,
+``-32600`` invalid request, ``-32601`` method not found, ``-32602``
+invalid params, ``-32000`` workspace errors (no program open, unknown
+slot, ...).
+"""
+
+from __future__ import annotations
+
+import json
+import socketserver
+import sys
+from typing import Any, Dict, Optional, TextIO
+
+from repro.workspace.session import Workspace, WorkspaceError
+
+PARSE_ERROR = -32700
+INVALID_REQUEST = -32600
+METHOD_NOT_FOUND = -32601
+INVALID_PARAMS = -32602
+WORKSPACE_ERROR = -32000
+
+
+class _RpcError(Exception):
+    def __init__(self, code: int, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+        self.message = message
+
+
+class WorkspaceServer:
+    """One serving session: a warm workspace plus the RPC dispatch."""
+
+    def __init__(
+        self,
+        *,
+        lattice: str = "two-point",
+        allow_declassification: bool = False,
+        presolve: bool = False,
+        backend: str = "graph",
+        solver_workers: int = 1,
+    ) -> None:
+        self.options = {
+            "lattice": lattice,
+            "allow_declassification": allow_declassification,
+            "presolve": presolve,
+            "backend": backend,
+            "solver_workers": solver_workers,
+        }
+        self.workspace = self._new_workspace()
+        self.running = True
+        self._methods = {
+            "ping": self._ping,
+            "open": self._open,
+            "edit": self._edit,
+            "check": self._check,
+            "infer": self._infer,
+            "pin": self._pin,
+            "unsat_core": self._unsat_core,
+            "witnesses": self._witnesses,
+            "lint": self._lint,
+            "stats": self._stats,
+            "save": self._save,
+            "load": self._load,
+            "shutdown": self._shutdown,
+        }
+
+    def _new_workspace(self) -> Workspace:
+        return Workspace(
+            self.options["lattice"],
+            allow_declassification=self.options["allow_declassification"],
+            presolve=self.options["presolve"],
+            backend=self.options["backend"],
+            solver_workers=self.options["solver_workers"],
+        )
+
+    # ------------------------------------------------------------------ dispatch
+
+    def handle_line(self, line: str) -> Optional[str]:
+        """Process one request line; returns the response line (or
+        ``None`` for blank input and JSON-RPC notifications)."""
+        line = line.strip()
+        if not line:
+            return None
+        try:
+            request = json.loads(line)
+        except json.JSONDecodeError as exc:
+            return self._encode_error(None, PARSE_ERROR, f"parse error: {exc}")
+        if not isinstance(request, dict) or "method" not in request:
+            return self._encode_error(
+                request.get("id") if isinstance(request, dict) else None,
+                INVALID_REQUEST,
+                "invalid request: expected an object with a 'method' member",
+            )
+        request_id = request.get("id")
+        method = request.get("method")
+        params = request.get("params") or {}
+        if not isinstance(params, dict):
+            return self._encode_error(
+                request_id, INVALID_PARAMS, "params must be an object"
+            )
+        handler = self._methods.get(method)
+        if handler is None:
+            return self._encode_error(
+                request_id, METHOD_NOT_FOUND, f"unknown method {method!r}"
+            )
+        try:
+            result = handler(params)
+        except _RpcError as exc:
+            return self._encode_error(request_id, exc.code, exc.message)
+        except WorkspaceError as exc:
+            return self._encode_error(request_id, WORKSPACE_ERROR, str(exc))
+        if request_id is None:
+            return None  # notification: no response
+        return json.dumps({"jsonrpc": "2.0", "id": request_id, "result": result})
+
+    @staticmethod
+    def _encode_error(request_id, code: int, message: str) -> str:
+        return json.dumps(
+            {
+                "jsonrpc": "2.0",
+                "id": request_id,
+                "error": {"code": code, "message": message},
+            }
+        )
+
+    @staticmethod
+    def _require(params: Dict[str, Any], key: str, kind=str):
+        value = params.get(key)
+        if not isinstance(value, kind):
+            raise _RpcError(
+                INVALID_PARAMS, f"missing or malformed {key!r} parameter"
+            )
+        return value
+
+    # ------------------------------------------------------------------ methods
+
+    def _ping(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        return {"pong": True, "echo": params}
+
+    def _open(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        source = self._require(params, "source")
+        filename = params.get("filename") or "<rpc>"
+        parsed = self.workspace.open(
+            source, filename=filename, name=params.get("name")
+        )
+        return {
+            "parsed": parsed,
+            "revision": self.workspace.revision,
+            "parse_error": self.workspace.parse_error,
+        }
+
+    def _edit(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        source = self._require(params, "source")
+        parsed = self.workspace.edit(source)
+        return {
+            "parsed": parsed,
+            "revision": self.workspace.revision,
+            "parse_error": self.workspace.parse_error,
+        }
+
+    def _check(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        from repro.tool.report import report_to_dict
+
+        report = self.workspace.check(
+            include_ifc=bool(params.get("include_ifc", True)),
+            infer=bool(params.get("infer", False)),
+            lint=bool(params.get("lint", False)),
+            explain_released_flows=bool(params.get("explain_flows", False)),
+        )
+        payload = report_to_dict(report)
+        payload["revision"] = self.workspace.revision
+        payload["regen"] = self.workspace.stats()["regen"]
+        return payload
+
+    def _infer(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        result = self.workspace.infer()
+        lattice = self.workspace.lattice
+        return {
+            "ok": result.ok,
+            "assignment": {
+                site.hint: lattice.format_label(site.label)
+                for site in result.inferred
+            },
+            "diagnostics": [str(diag) for diag in result.diagnostics],
+            "constraints": result.constraint_count,
+            "variables": result.variable_count,
+        }
+
+    def _pin(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        slot = self._require(params, "slot")
+        label = params.get("label")
+        if label is not None and not isinstance(label, str):
+            raise _RpcError(INVALID_PARAMS, "label must be a string or null")
+        try:
+            self.workspace.pin(slot, label)
+        except Exception as exc:
+            if isinstance(exc, WorkspaceError):
+                raise
+            raise _RpcError(INVALID_PARAMS, str(exc))
+        return {"pins": self.workspace.stats()["pins"]}
+
+    def _unsat_core(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        return {"cores": self.workspace.unsat_cores()}
+
+    def _witnesses(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        lattice = self.workspace.lattice
+        return {
+            "witnesses": [
+                witness.describe(lattice) for witness in self.workspace.witnesses()
+            ]
+        }
+
+    def _lint(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        return {
+            "findings": [
+                {
+                    "code": finding.code,
+                    "severity": finding.severity.value,
+                    "message": finding.message,
+                    "span": str(finding.span),
+                }
+                for finding in self.workspace.lint()
+            ]
+        }
+
+    def _stats(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        return self.workspace.stats()
+
+    def _save(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        path = self._require(params, "path")
+        self.workspace.save(path)
+        return {"saved": path, "revision": self.workspace.revision}
+
+    def _load(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        path = self._require(params, "path")
+        self.workspace = Workspace.load(path)
+        return {
+            "loaded": path,
+            "revision": self.workspace.revision,
+            "lattice": self.workspace.lattice.name,
+        }
+
+    def _shutdown(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        self.running = False
+        return {"ok": True}
+
+
+def serve_stdio(
+    server: Optional[WorkspaceServer] = None,
+    stdin: Optional[TextIO] = None,
+    stdout: Optional[TextIO] = None,
+    **options,
+) -> int:
+    """Serve newline-delimited JSON-RPC over stdin/stdout until EOF or
+    ``shutdown``."""
+    server = server or WorkspaceServer(**options)
+    stdin = stdin if stdin is not None else sys.stdin
+    stdout = stdout if stdout is not None else sys.stdout
+    for line in stdin:
+        response = server.handle_line(line)
+        if response is not None:
+            stdout.write(response + "\n")
+            stdout.flush()
+        if not server.running:
+            break
+    return 0
+
+
+def serve_tcp(host: str, port: int, **options) -> int:
+    """Serve JSON-RPC over TCP; each connection gets its own workspace."""
+
+    class Handler(socketserver.StreamRequestHandler):
+        def handle(self) -> None:
+            session = WorkspaceServer(**options)
+            for raw in self.rfile:
+                response = session.handle_line(raw.decode("utf-8"))
+                if response is not None:
+                    self.wfile.write(response.encode("utf-8") + b"\n")
+                    self.wfile.flush()
+                if not session.running:
+                    break
+
+    class Server(socketserver.ThreadingTCPServer):
+        allow_reuse_address = True
+        daemon_threads = True
+
+    with Server((host, port), Handler) as srv:
+        actual_host, actual_port = srv.server_address[:2]
+        sys.stderr.write(f"p4bid serve: listening on {actual_host}:{actual_port}\n")
+        sys.stderr.flush()
+        try:
+            srv.serve_forever()
+        except KeyboardInterrupt:
+            pass
+    return 0

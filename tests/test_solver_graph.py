@@ -291,3 +291,113 @@ class TestSolverResolve:
         pins = solver.pins
         pins.clear()
         assert solver.pins == {variables[0]: "high"}
+
+
+class TestSolverRebase:
+    """`Solver.rebase`: swap the constraint system under a warm solver and
+    re-solve only what the edit can influence."""
+
+    def _chain(self, lattice, length=8):
+        supply = VarSupply()
+        variables = [supply.fresh(f"v{i}") for i in range(length)]
+        constraints = [
+            Constraint(VarTerm(a), VarTerm(b))
+            for a, b in zip(variables, variables[1:])
+        ]
+        return variables, constraints
+
+    def test_rebase_matches_scratch_solve(self):
+        lattice = get_lattice("diamond")
+        variables, constraints = self._chain(lattice)
+        solver = Solver(lattice, constraints)
+        solver.solve()
+        # Edit: a new source feeding the middle of the chain.
+        edited = constraints + [Constraint(ConstTerm("A"), VarTerm(variables[4]))]
+        warm = solver.rebase(edited)
+        scratch = solve(lattice, edited)
+        for var in variables:
+            assert lattice.equal(warm.value_of(var), scratch.value_of(var))
+
+    def test_rebase_removing_constraints_lowers(self):
+        lattice = get_lattice("two-point")
+        variables, constraints = self._chain(lattice, length=5)
+        seeded = [Constraint(ConstTerm("high"), VarTerm(variables[0]))] + constraints
+        solver = Solver(lattice, seeded)
+        assert solver.solve().value_of(variables[-1]) == "high"
+        # Drop the source constraint: everything must fall back to bottom.
+        lowered = solver.rebase(constraints)
+        for var in variables:
+            assert lowered.value_of(var) == "low"
+
+    def test_rebase_reuses_untouched_regions(self):
+        lattice = get_lattice("two-point")
+        supply = VarSupply()
+        left = [supply.fresh(f"l{i}") for i in range(6)]
+        right = [supply.fresh(f"r{i}") for i in range(6)]
+        chain = lambda vs: [
+            Constraint(VarTerm(a), VarTerm(b)) for a, b in zip(vs, vs[1:])
+        ]
+        base = chain(left) + chain(right)
+        solver = Solver(lattice, base)
+        solver.solve()
+        edited = base + [Constraint(ConstTerm("high"), VarTerm(right[0]))]
+        warm = solver.rebase(edited)
+        # Only the right chain is in the cone; the left chain's edges are
+        # never revisited.
+        assert warm.stats.edges_visited <= len(chain(right)) + 1
+        assert warm.value_of(right[-1]) == "high"
+        assert warm.value_of(left[-1]) == "low"
+
+    def test_rebase_pin_addition_and_removal_are_symmetric(self):
+        lattice = get_lattice("diamond")
+        variables, constraints = self._chain(lattice)
+        solver = Solver(lattice, constraints)
+        baseline = solver.solve()
+        pinned = solver.rebase(constraints, pins={variables[2]: "B"})
+        assert pinned.value_of(variables[-1]) == "B"
+        # Removing the pin through a rebase restores the least solution.
+        unpinned = solver.rebase(constraints, pins={})
+        for var in variables:
+            assert lattice.equal(
+                unpinned.value_of(var), baseline.value_of(var)
+            )
+
+    def test_rebase_migrates_pins_across_edits(self):
+        lattice = get_lattice("two-point")
+        variables, constraints = self._chain(lattice, length=6)
+        solver = Solver(lattice, constraints)
+        solver.rebase(constraints, pins={variables[0]: "high"})
+        edited = constraints + [
+            Constraint(VarTerm(variables[-1]), ConstTerm("low"), rule="T-Assign")
+        ]
+        warm = solver.rebase(edited, pins={variables[0]: "high"})
+        scratch_solver = Solver(lattice, edited)
+        scratch = scratch_solver.resolve({variables[0]: "high"})
+        assert warm.ok == scratch.ok
+        assert len(warm.conflicts) == len(scratch.conflicts) == 1
+
+    def test_adopt_then_rebase_continues_warm(self):
+        lattice = get_lattice("two-point")
+        variables, constraints = self._chain(lattice, length=6)
+        cold = solve(lattice, constraints)
+        solver = Solver(lattice, constraints)
+        solver.adopt(cold)
+        edited = constraints + [Constraint(ConstTerm("high"), VarTerm(variables[3]))]
+        warm = solver.rebase(edited)
+        scratch = solve(lattice, edited)
+        for var in variables:
+            assert lattice.equal(warm.value_of(var), scratch.value_of(var))
+        # The adopted prefix was reused: only v3's cone was revisited
+        # (in-edges of v3..v5: const→v3, v2→v3, v3→v4, v4→v5), never the
+        # whole system.
+        assert warm.stats.edges_visited == 4
+        assert warm.stats.edges_visited < warm.stats.edge_count
+
+    def test_adopt_rejects_a_pinned_solver(self):
+        lattice = get_lattice("two-point")
+        variables, constraints = self._chain(lattice)
+        cold = solve(lattice, constraints)
+        solver = Solver(lattice, constraints)
+        solver.resolve({variables[0]: "high"})
+        with pytest.raises(ValueError):
+            solver.adopt(cold)

@@ -1,0 +1,314 @@
+"""Structural-diff edge cases for the workspace's incremental engine.
+
+These tests pin the unit-granularity diff (`repro.workspace.diff` over the
+`repro.syntax.digest` helpers) on the edits that historically break
+incremental checkers: declaration reorders, rename-only edits,
+formatting-only edits, and deletions.  Each case asserts both the diff's
+verdict (which units are dirty) and, through a `Workspace`, that the warm
+result still matches a cold check of the edited source.
+"""
+
+from __future__ import annotations
+
+from repro.frontend.parser import parse_program
+from repro.syntax.digest import (
+    declared_names,
+    referenced_names,
+    respan,
+    unit_fingerprint,
+)
+from repro.tool.pipeline import check_source
+from repro.workspace import Workspace, diff_program, program_units
+from repro.workspace.diff import environment_signatures
+
+
+BASE = """
+header h_t { <bit<8>, low> a; <bit<8>, high> b; }
+struct headers { h_t h; }
+control Main(inout headers hdr) {
+    apply {
+        hdr.h.a = 1;
+    }
+}
+"""
+
+
+def _states_for(source: str):
+    """Diff a cold parse against nothing, yielding fresh unit states."""
+    program = parse_program(source)
+    plans = diff_program([], program)
+    return [plan.state for plan in plans], program
+
+
+def _diff(source_before: str, source_after: str):
+    states, _ = _states_for(source_before)
+    return diff_program(states, parse_program(source_after)), states
+
+
+def _regen_stats(workspace: Workspace) -> dict:
+    workspace.check()
+    return workspace.stats()["regen"]
+
+
+class TestDigest:
+    def test_fingerprint_ignores_formatting(self):
+        compact = parse_program("header h_t { <bit<8>, low> a; }")
+        spaced = parse_program(
+            "// a comment\nheader   h_t {\n    <bit<8>, low>   a;\n}\n"
+        )
+        assert unit_fingerprint(compact.declarations[0]) == unit_fingerprint(
+            spaced.declarations[0]
+        )
+
+    def test_fingerprint_sees_content(self):
+        low = parse_program("header h_t { <bit<8>, low> a; }")
+        high = parse_program("header h_t { <bit<8>, high> a; }")
+        assert unit_fingerprint(low.declarations[0]) != unit_fingerprint(
+            high.declarations[0]
+        )
+
+    def test_declared_and_referenced_names(self):
+        program = parse_program(BASE)
+        header, struct = program.declarations
+        (control,) = program.controls
+        assert declared_names(header) == ("h_t",)
+        assert declared_names(struct) == ("headers",)
+        assert declared_names(control) == ()
+        assert "h_t" in referenced_names(struct)
+        assert "headers" in referenced_names(control)
+
+    def test_respan_rewrites_positions_in_place(self):
+        old = parse_program("header h_t { <bit<8>, low> a; }").declarations[0]
+        new = parse_program("\n\n\nheader h_t { <bit<8>, low> a; }").declarations[
+            0
+        ]
+        span_map = respan(old, new)
+        assert span_map
+        assert old.span == new.span
+
+    def test_respan_noop_on_identical_positions(self):
+        old = parse_program(BASE).declarations[0]
+        new = parse_program(BASE).declarations[0]
+        assert respan(old, new) == {}
+
+
+def _signatures(source: str):
+    units = program_units(parse_program(source))
+    fingerprints = [unit_fingerprint(u) for u in units]
+    referenced = [referenced_names(u) for u in units]
+    return environment_signatures(units, fingerprints, referenced)
+
+
+class TestEnvironmentSignatures:
+    def test_transitive_dirtiness_through_struct(self):
+        """Editing a header must change the signature of a control that
+        only references the *struct* embedding it."""
+        before = _signatures(BASE)
+        after = _signatures(BASE.replace("<bit<8>, high> b;", "<bit<8>, low> b;"))
+        # The struct's own text did not change, but its signature did...
+        assert before[1] != after[1]
+        # ...and so did the control's, through the struct's deep hash.
+        assert before[2] != after[2]
+
+    def test_unrelated_units_keep_their_signature(self):
+        extended = BASE + "\nheader other_t { <bit<8>, low> x; }\n"
+        edited = extended.replace(
+            "header other_t { <bit<8>, low> x; }",
+            "header other_t { <bit<8>, high> x; }",
+        )
+        before = _signatures(extended)
+        after = _signatures(edited)
+        # Nothing references other_t, so every other signature is stable.
+        assert before[0] == after[0]
+        assert before[1] == after[1]
+
+
+class TestDiffVerdicts:
+    TWO_SHARDS = """
+header a_t { <bit<8>, high> x; }
+struct a_headers { a_t data; }
+header b_t { <bit<8>, low> y; }
+struct b_headers { b_t data; }
+control A(inout a_headers hdr) { apply { hdr.data.x = 1; } }
+control B(inout b_headers hdr) { apply { hdr.data.y = 2; } }
+"""
+
+    def test_reorder_of_independent_units_is_all_clean(self):
+        # Swap the two independent shards wholesale: every unit still
+        # resolves its references to byte-identical declarations.
+        reordered = """
+header b_t { <bit<8>, low> y; }
+struct b_headers { b_t data; }
+header a_t { <bit<8>, high> x; }
+struct a_headers { a_t data; }
+control B(inout b_headers hdr) { apply { hdr.data.y = 2; } }
+control A(inout a_headers hdr) { apply { hdr.data.x = 1; } }
+"""
+        plans, states = _diff(self.TWO_SHARDS, reordered)
+        assert not any(plan.dirty for plan in plans)
+        # Matched plans reuse the cached state objects (identity matters:
+        # they anchor the label variables).
+        assert {id(plan.state) for plan in plans} == {id(s) for s in states}
+
+    def test_resolution_changing_reorder_is_dirty(self):
+        # Moving the struct above the header it references changes what
+        # its type name resolves to -- that is a semantic edit, not a
+        # formatting one, and the unit must be re-walked.
+        reordered = """
+struct headers { h_t h; }
+header h_t { <bit<8>, low> a; <bit<8>, high> b; }
+control Main(inout headers hdr) {
+    apply {
+        hdr.h.a = 1;
+    }
+}
+"""
+        plans, _ = _diff(BASE, reordered)
+        dirty = {type(plan.state.node).__name__: plan.dirty for plan in plans}
+        assert dirty["StructDecl"] is True
+
+    def test_whitespace_and_comments_are_clean(self):
+        noisy = BASE.replace(
+            "header h_t", "// widened later\nheader    h_t"
+        ).replace("hdr.h.a = 1;", "hdr.h.a   =   1;  // constant")
+        plans, _ = _diff(BASE, noisy)
+        assert not any(plan.dirty for plan in plans)
+
+    def test_rename_dirties_declarer_and_referencers(self):
+        renamed = BASE.replace("h_t", "pkt_t")
+        plans, _ = _diff(BASE, renamed)
+        # Header changed content (its name); struct references the renamed
+        # type; the control's struct reference changed transitively.
+        assert [plan.dirty for plan in plans] == [True, True, True]
+
+    def test_body_edit_dirties_only_that_unit(self):
+        edited = BASE.replace("hdr.h.a = 1;", "hdr.h.a = 2;")
+        plans, _ = _diff(BASE, edited)
+        assert [plan.dirty for plan in plans] == [False, False, True]
+
+    def test_duplicate_units_match_fifo(self):
+        # Two structurally identical controls share one fingerprint; the
+        # diff must pair them positionally, not double-claim one state.
+        twin = """
+struct headers { }
+control A(inout headers hdr) { apply { } }
+control A(inout headers hdr) { apply { } }
+"""
+        plans, states = _diff(twin, twin)
+        controls = [p for p in plans if p.state.is_control]
+        assert len(controls) == 2
+        assert controls[0].state is states[1]
+        assert controls[1].state is states[2]
+
+
+class TestWorkspaceEdits:
+    """End-to-end: the regen statistics and the warm-vs-cold contract."""
+
+    def _open(self, source: str, **options) -> Workspace:
+        workspace = Workspace(**options)
+        assert workspace.open(source, filename="<input>")
+        return workspace
+
+    def test_comment_only_edit_rewalks_nothing(self):
+        workspace = self._open(BASE)
+        cold = workspace.check(infer=True)
+        assert workspace.edit("// touched\n" + BASE)
+        warm = workspace.check(infer=True)
+        stats = workspace.stats()["regen"]
+        assert stats["units_rewalked"] == 0
+        assert stats["units_reused"] == stats["units_total"] == 3
+        assert str(warm.inference_result.solution.assignment) == str(
+            cold.inference_result.solution.assignment
+        )
+
+    def test_reorder_edit_rewalks_nothing(self):
+        workspace = self._open(TestDiffVerdicts.TWO_SHARDS)
+        cold = workspace.check(infer=True)
+        reordered = """
+header b_t { <bit<8>, low> y; }
+struct b_headers { b_t data; }
+header a_t { <bit<8>, high> x; }
+struct a_headers { a_t data; }
+control B(inout b_headers hdr) { apply { hdr.data.y = 2; } }
+control A(inout a_headers hdr) { apply { hdr.data.x = 1; } }
+"""
+        assert workspace.edit(reordered)
+        warm = workspace.check(infer=True)
+        stats = workspace.stats()["regen"]
+        assert stats["units_rewalked"] == 0
+        assert stats["units_reused"] == 6
+        assert warm.ok == cold.ok
+
+    def test_respan_keeps_diagnostics_at_new_positions(self):
+        insecure = BASE.replace("hdr.h.a = 1;", "hdr.h.a = hdr.h.b;")
+        workspace = self._open(insecure)
+        workspace.check(infer=True)
+        shifted = "\n\n" + insecure
+        assert workspace.edit(shifted)
+        warm = workspace.check(infer=True)
+        stats = workspace.stats()["regen"]
+        assert stats["units_rewalked"] == 0
+        assert stats["units_respanned"] >= 1
+        cold = check_source(shifted, infer=True, filename="<input>")
+        assert [str(x) for x in warm.inference_result.diagnostics] == [
+            str(x) for x in cold.inference_result.diagnostics
+        ]
+
+    def test_table_and_action_deletion(self):
+        from repro.synth import wide_table_program
+
+        source = wide_table_program(
+            tables=2, actions_per_table=2, keys_per_table=1, seed=11
+        )
+        workspace = self._open(source)
+        workspace.check(infer=True)
+        # Delete the second table and its actions from the control body:
+        # everything from "action act_1_0() {" through tbl_1's closing
+        # brace (the first "}" after its actions list), plus its apply.
+        lines = source.splitlines()
+        start = next(i for i, l in enumerate(lines) if "action act_1_0" in l)
+        actions_line = next(
+            i for i, l in enumerate(lines) if "actions = { act_1_0" in l
+        )
+        closing = actions_line + next(
+            i for i, l in enumerate(lines[actions_line:]) if l.strip() == "}"
+        )
+        pruned = lines[:start] + lines[closing + 1 :]
+        pruned = [l for l in pruned if "tbl_1.apply" not in l]
+        edited = "\n".join(pruned)
+        assert workspace.edit(edited)
+        warm = workspace.check(infer=True)
+        cold = check_source(edited, infer=True, filename="<input>")
+        assert warm.ok == cold.ok
+        assert [str(x) for x in warm.inference_result.diagnostics] == [
+            str(x) for x in cold.inference_result.diagnostics
+        ]
+        assert (
+            warm.inference_result.assignment_by_hint()
+            == cold.inference_result.assignment_by_hint()
+        )
+
+    def test_declaration_deletion_drops_cached_sites(self):
+        from repro.synth import sharded_dataflow_program
+
+        source = sharded_dataflow_program(3, depth=3)
+        workspace = self._open(source)
+        workspace.check(infer=True)
+        sites_before = workspace.stats()["sites"]
+        # Drop shard2 wholesale (header, struct, control).
+        kept = [
+            block
+            for block in source.split("\n\n")
+            if "shard2" not in block and "Shard2" not in block
+        ]
+        edited = "\n\n".join(kept)
+        assert workspace.edit(edited)
+        warm = workspace.check(infer=True)
+        stats = workspace.stats()
+        assert stats["units"] == 6
+        assert stats["sites"] < sites_before
+        cold = check_source(edited, infer=True, filename="<input>")
+        assert (
+            warm.inference_result.assignment_by_hint()
+            == cold.inference_result.assignment_by_hint()
+        )

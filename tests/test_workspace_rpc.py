@@ -1,0 +1,205 @@
+"""The JSON-RPC serving front end (`p4bid serve`).
+
+Drives `WorkspaceServer.handle_line` directly -- the same code path the
+stdio and TCP transports use -- and checks both the protocol plumbing
+(framing, error codes, notifications) and that served answers match the
+one-shot pipeline.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+from repro.synth import sharded_dataflow_program
+from repro.tool.pipeline import check_source
+from repro.workspace.rpc import (
+    INVALID_PARAMS,
+    INVALID_REQUEST,
+    METHOD_NOT_FOUND,
+    PARSE_ERROR,
+    WORKSPACE_ERROR,
+    WorkspaceServer,
+    serve_stdio,
+)
+
+SECURE = sharded_dataflow_program(2, depth=3)
+# Make shard0 leak: annotate its last sink field low while the seed is high.
+LEAKY = SECURE.replace("bit<8> s2;\n}", "<bit<8>, low> s2;\n}", 1)
+
+
+def call(server: WorkspaceServer, method: str, params=None, request_id=1):
+    """One request/response round trip, decoded."""
+    request = {"jsonrpc": "2.0", "id": request_id, "method": method}
+    if params is not None:
+        request["params"] = params
+    line = server.handle_line(json.dumps(request))
+    assert line is not None
+    response = json.loads(line)
+    assert response["jsonrpc"] == "2.0"
+    assert response["id"] == request_id
+    return response
+
+
+def result_of(server: WorkspaceServer, method: str, params=None):
+    response = call(server, method, params)
+    assert "error" not in response, response
+    return response["result"]
+
+
+class TestProtocol:
+    def test_ping(self):
+        server = WorkspaceServer()
+        result = result_of(server, "ping", {"hello": "world"})
+        assert result == {"pong": True, "echo": {"hello": "world"}}
+
+    def test_blank_lines_are_ignored(self):
+        server = WorkspaceServer()
+        assert server.handle_line("") is None
+        assert server.handle_line("   \n") is None
+
+    def test_malformed_json_is_parse_error(self):
+        server = WorkspaceServer()
+        response = json.loads(server.handle_line("{not json"))
+        assert response["error"]["code"] == PARSE_ERROR
+        assert response["id"] is None
+
+    def test_non_object_request_is_invalid(self):
+        server = WorkspaceServer()
+        response = json.loads(server.handle_line("[1, 2, 3]"))
+        assert response["error"]["code"] == INVALID_REQUEST
+
+    def test_missing_method_is_invalid(self):
+        server = WorkspaceServer()
+        response = json.loads(server.handle_line(json.dumps({"id": 7})))
+        assert response["error"]["code"] == INVALID_REQUEST
+        assert response["id"] == 7
+
+    def test_unknown_method(self):
+        response = call(WorkspaceServer(), "frobnicate")
+        assert response["error"]["code"] == METHOD_NOT_FOUND
+
+    def test_non_object_params(self):
+        server = WorkspaceServer()
+        line = json.dumps(
+            {"jsonrpc": "2.0", "id": 3, "method": "open", "params": [1]}
+        )
+        response = json.loads(server.handle_line(line))
+        assert response["error"]["code"] == INVALID_PARAMS
+
+    def test_missing_required_param(self):
+        response = call(WorkspaceServer(), "open", {})
+        assert response["error"]["code"] == INVALID_PARAMS
+
+    def test_workspace_errors_map_to_application_code(self):
+        server = WorkspaceServer()
+        result_of(server, "open", {"source": SECURE})
+        response = call(server, "pin", {"slot": "no-such-slot", "label": "high"})
+        assert response["error"]["code"] == WORKSPACE_ERROR
+
+    def test_notifications_get_no_response(self):
+        server = WorkspaceServer()
+        line = json.dumps({"jsonrpc": "2.0", "method": "open", "params": {"source": SECURE}})
+        assert server.handle_line(line) is None
+        # The notification still took effect.
+        assert result_of(server, "stats")["parsed"] is True
+
+    def test_shutdown_stops_the_session(self):
+        server = WorkspaceServer()
+        assert result_of(server, "shutdown") == {"ok": True}
+        assert server.running is False
+
+
+class TestServedAnswers:
+    def test_open_check_matches_one_shot_pipeline(self):
+        server = WorkspaceServer()
+        opened = result_of(server, "open", {"source": LEAKY, "filename": "<input>"})
+        assert opened == {"parsed": True, "revision": 1, "parse_error": None}
+        served = result_of(server, "check", {"infer": True, "lint": True})
+        report = check_source(LEAKY, infer=True, lint=True, filename="<input>")
+        from repro.tool.report import report_to_dict
+
+        expected = report_to_dict(report)
+        # Wall-clock timing is the one legitimately nondeterministic field.
+        for payload in (served, expected):
+            payload.get("inference", {}).get("solver", {}).pop("solve_ms", None)
+        for key in ("ok", "diagnostics", "inference", "analysis"):
+            assert served.get(key) == expected.get(key)
+
+    def test_edit_then_infer_matches_cold(self):
+        server = WorkspaceServer()
+        result_of(server, "open", {"source": SECURE, "filename": "<input>"})
+        result_of(server, "check", {"infer": True})
+        edited = result_of(server, "edit", {"source": LEAKY})
+        assert edited["revision"] == 2
+        served = result_of(server, "infer")
+        cold = check_source(LEAKY, infer=True, filename="<input>").inference_result
+        lattice = server.workspace.lattice
+        assert served["ok"] == cold.ok
+        assert served["assignment"] == {
+            site.hint: lattice.format_label(site.label) for site in cold.inferred
+        }
+        assert served["diagnostics"] == [str(x) for x in cold.diagnostics]
+        # The edit was served warm: shard1 was never re-walked.
+        regen = result_of(server, "stats")["regen"]
+        assert regen["units_reused"] > 0
+
+    def test_unsat_core_and_witnesses(self):
+        server = WorkspaceServer()
+        result_of(server, "open", {"source": LEAKY, "filename": "<input>"})
+        cores = result_of(server, "unsat_core")["cores"]
+        assert cores and all(core["core"] for core in cores)
+        witnesses = result_of(server, "witnesses")["witnesses"]
+        assert witnesses and all(isinstance(w, str) for w in witnesses)
+
+    def test_pin_round_trip(self):
+        server = WorkspaceServer()
+        result_of(server, "open", {"source": SECURE, "filename": "<input>"})
+        baseline = result_of(server, "infer")["assignment"]
+        slot = sorted(baseline)[0]
+        pins = result_of(server, "pin", {"slot": slot, "label": "high"})["pins"]
+        assert pins == {slot: "high"}
+        assert result_of(server, "infer")["assignment"][slot] == "high"
+        pins = result_of(server, "pin", {"slot": slot, "label": None})["pins"]
+        assert pins == {}
+        assert result_of(server, "infer")["assignment"] == baseline
+
+    def test_save_and_load(self, tmp_path):
+        path = str(tmp_path / "served.p4bidws")
+        server = WorkspaceServer()
+        result_of(server, "open", {"source": LEAKY, "filename": "<input>"})
+        before = result_of(server, "infer")
+        saved = result_of(server, "save", {"path": path})
+        assert saved["saved"] == path
+
+        fresh = WorkspaceServer()
+        loaded = result_of(fresh, "load", {"path": path})
+        assert loaded["revision"] == 1
+        assert result_of(fresh, "infer") == before
+
+    def test_lint_findings_serialised(self):
+        server = WorkspaceServer()
+        result_of(server, "open", {"source": SECURE, "filename": "<input>"})
+        findings = result_of(server, "lint")["findings"]
+        for finding in findings:
+            assert set(finding) == {"code", "severity", "message", "span"}
+
+
+class TestStdioTransport:
+    def test_request_response_loop(self):
+        lines = [
+            json.dumps({"jsonrpc": "2.0", "id": 1, "method": "open",
+                        "params": {"source": SECURE, "filename": "<input>"}}),
+            json.dumps({"jsonrpc": "2.0", "id": 2, "method": "infer"}),
+            json.dumps({"jsonrpc": "2.0", "id": 3, "method": "shutdown"}),
+            json.dumps({"jsonrpc": "2.0", "id": 4, "method": "ping"}),
+        ]
+        stdin = io.StringIO("\n".join(lines) + "\n")
+        stdout = io.StringIO()
+        assert serve_stdio(stdin=stdin, stdout=stdout) == 0
+        responses = [json.loads(l) for l in stdout.getvalue().splitlines()]
+        # The loop stops at shutdown; the trailing ping is never served.
+        assert [r["id"] for r in responses] == [1, 2, 3]
+        assert responses[0]["result"]["parsed"] is True
+        assert responses[1]["result"]["ok"] is True
+        assert responses[2]["result"] == {"ok": True}
