@@ -71,6 +71,7 @@ from repro.inference.terms import ConstTerm, JoinTerm, LabelVar, MeetTerm, Term,
 from repro.lattice.base import Label, Lattice, LatticeError
 from repro.lattice.chain import ChainLattice
 from repro.lattice.finite import FiniteLattice
+from repro.lattice.policy import PolicyLattice
 from repro.lattice.powerset import PowersetLattice
 from repro.lattice.product import ProductLattice
 from repro.telemetry.recorder import current_recorder
@@ -196,6 +197,71 @@ class ProductCodec(LabelCodec):
         return (self._left.decode(bits >> self._right.width), self._right.decode(bits & mask))
 
 
+class PolicyCodec(LabelCodec):
+    """Policy labels packed as purpose bits | recipient bits | retention rank.
+
+    Purposes take the lowest bits (declaration order), recipients the next
+    block, and the retention chain the highest block in the rank-unary
+    spelling (class ``i`` becomes the ``i`` lowest bits of the block).  All
+    three components are distributive, so the concatenation satisfies the
+    full codec contract by construction — no carrier enumeration, which is
+    the point: a 216-principal policy lattice encodes into one 223-bit int.
+    """
+
+    def __init__(self, lattice: "PolicyLattice") -> None:
+        super().__init__(lattice)
+        self._purpose_bit: Dict[str, int] = {
+            name: 1 << index for index, name in enumerate(lattice.purposes)
+        }
+        offset = len(lattice.purposes)
+        self._recipient_bit: Dict[str, int] = {
+            name: 1 << (offset + index)
+            for index, name in enumerate(lattice.recipients)
+        }
+        self._retention_shift = offset + len(lattice.recipients)
+        self._levels: Tuple[str, ...] = tuple(lattice.retention_classes)
+        self.width = self._retention_shift + len(self._levels) - 1
+
+    def encode(self, label: Label) -> int:
+        try:
+            bits = 0
+            for purpose in label.purposes:  # type: ignore[union-attr]
+                bits |= self._purpose_bit[purpose]
+            for recipient in label.recipients:  # type: ignore[union-attr]
+                bits |= self._recipient_bit[recipient]
+            rank = self._levels.index(label.retention)  # type: ignore[union-attr]
+        except (AttributeError, TypeError, KeyError, ValueError) as exc:
+            raise CodecError(
+                f"label {label!r} is not a member of {self.lattice.name!r}"
+            ) from exc
+        return bits | ((1 << rank) - 1) << self._retention_shift
+
+    def decode(self, bits: int) -> Label:
+        if bits >> self.width:
+            raise CodecError(
+                f"bit pattern {bits:#x} exceeds {self.width} bits of "
+                f"{self.lattice.name!r}"
+            )
+        retention_bits = bits >> self._retention_shift
+        rank = retention_bits.bit_length()
+        if retention_bits != (1 << rank) - 1:
+            raise CodecError(
+                f"bit pattern {bits:#x} has a non-rank retention block for "
+                f"{self.lattice.name!r}"
+            )
+        from repro.lattice.policy import PolicyLabel
+
+        return PolicyLabel(
+            frozenset(
+                name for name, bit in self._purpose_bit.items() if bits & bit
+            ),
+            frozenset(
+                name for name, bit in self._recipient_bit.items() if bits & bit
+            ),
+            self._levels[rank],
+        )
+
+
 class TableCodec(LabelCodec):
     """The Birkhoff embedding for any (small) finite lattice.
 
@@ -290,6 +356,8 @@ class TableCodec(LabelCodec):
 
 
 def _build_codec(lattice: Lattice) -> LabelCodec:
+    if isinstance(lattice, PolicyLattice):
+        return PolicyCodec(lattice)
     if isinstance(lattice, PowersetLattice):
         return PowersetCodec(lattice)
     if isinstance(lattice, ChainLattice):

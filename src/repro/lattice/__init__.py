@@ -15,6 +15,7 @@ from repro.lattice.diamond import DiamondLattice
 from repro.lattice.chain import ChainLattice
 from repro.lattice.product import ProductLattice
 from repro.lattice.powerset import PowersetLattice
+from repro.lattice.policy import PolicyLabel, PolicyLattice, mini_policy_lattice, policy_lattice
 from repro.lattice.registry import get_lattice, register_lattice, available_lattices
 
 __all__ = [
@@ -29,6 +30,10 @@ __all__ = [
     "ChainLattice",
     "ProductLattice",
     "PowersetLattice",
+    "PolicyLabel",
+    "PolicyLattice",
+    "mini_policy_lattice",
+    "policy_lattice",
     "get_lattice",
     "register_lattice",
     "available_lattices",

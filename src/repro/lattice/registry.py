@@ -12,6 +12,7 @@ from typing import Callable, Dict, Tuple
 from repro.lattice.base import Lattice, LatticeError
 from repro.lattice.chain import ChainLattice
 from repro.lattice.diamond import DiamondLattice
+from repro.lattice.policy import mini_policy_lattice, policy_lattice
 from repro.lattice.two_point import TwoPointLattice
 
 _FACTORIES: Dict[str, Callable[[], Lattice]] = {}
@@ -30,8 +31,13 @@ def available_lattices() -> Tuple[str, ...]:
 def get_lattice(name: str) -> Lattice:
     """Construct the lattice registered under ``name``.
 
-    Also accepts ``chain-N`` for any integer ``N >= 2`` even if that height
-    was never explicitly registered.
+    Also accepts two parametric families even if the exact shape was never
+    explicitly registered:
+
+    * ``chain-N`` for any integer ``N >= 2``;
+    * ``policy-P-R-T`` for integers ``P, R, T >= 1`` — a policy lattice with
+      ``P`` purposes, ``R`` recipients and ``T`` retention classes (e.g.
+      ``policy-120-96-8`` is the 216-principal benchmark shape).
     """
     if name in _FACTORIES:
         return _FACTORIES[name]()
@@ -39,6 +45,10 @@ def get_lattice(name: str) -> Lattice:
         suffix = name[len("chain-"):]
         if suffix.isdigit() and int(suffix) >= 2:
             return ChainLattice.of_height(int(suffix))
+    if name.startswith("policy-"):
+        parts = name[len("policy-"):].split("-")
+        if len(parts) == 3 and all(p.isdigit() and int(p) >= 1 for p in parts):
+            return policy_lattice(int(parts[0]), int(parts[1]), int(parts[2]))
     raise LatticeError(
         f"unknown lattice {name!r}; available: {', '.join(available_lattices())}"
     )
@@ -46,3 +56,4 @@ def get_lattice(name: str) -> Lattice:
 
 register_lattice("two-point", TwoPointLattice)
 register_lattice("diamond", DiamondLattice)
+register_lattice("policy-mini", mini_policy_lattice)

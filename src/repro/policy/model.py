@@ -1,0 +1,192 @@
+"""The policy universe: subjects, consent grants, datasets, requests.
+
+The model is deliberately small — three value types and one container —
+because the *semantics* collapses onto the lattice:
+
+* a **subject grant** is a :class:`~repro.lattice.policy.PolicyLabel`
+  upper bound: the purposes and recipients the data subject consented
+  to, and the longest retention class they accepted;
+* a **dataset** names its direct data subjects and, for derived data
+  (aggregates, model features, joins), the datasets it was derived
+  from — a DAG of lineage;
+* the **effective bound** of a dataset is the *meet* of the grants of
+  every subject in its transitive lineage closure: derived data may be
+  used only in ways *all* contributing subjects allowed;
+* a **request** demands a label (one purpose, one recipient, one
+  retention class) against a dataset, and is compliant exactly when
+  ``demand ⊑ effective_bound`` — one lattice comparison per request.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Mapping, Sequence, Tuple
+
+from repro.lattice.policy import PolicyLabel, PolicyLattice
+
+
+class PolicyError(Exception):
+    """A malformed universe or an unintelligible request."""
+
+
+@dataclass(frozen=True)
+class SubjectGrant:
+    """One data subject's consent: an upper bound on any use of their data."""
+
+    subject: str
+    bound: PolicyLabel
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """A dataset with its direct subjects and derivation lineage."""
+
+    name: str
+    subjects: FrozenSet[str] = frozenset()
+    parents: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class Request:
+    """One processing request: use ``dataset`` for ``purpose``, disclose to
+    ``recipient``, keep for ``retention``.  ``kind`` tags the scenario event
+    that produced it (access / reuse / expiry-probe / ...)."""
+
+    uid: int
+    dataset: str
+    purpose: str
+    recipient: str
+    retention: str
+    kind: str = "access"
+
+    def describe(self) -> str:
+        return (
+            f"request #{self.uid} [{self.kind}]: use {self.dataset!r} for "
+            f"{self.purpose!r} -> {self.recipient!r} (keep {self.retention!r})"
+        )
+
+
+class PolicyUniverse:
+    """All subjects, grants and datasets governed by one policy lattice.
+
+    The universe is mutable only through :meth:`set_grant` (consent grants
+    and revocations re-bound a subject); dataset lineage is fixed at
+    construction.  Lineage closures are computed once and cached — consent
+    updates invalidate only the *bounds*, not the closures.
+    """
+
+    def __init__(
+        self,
+        lattice: PolicyLattice,
+        grants: Iterable[SubjectGrant],
+        datasets: Iterable[Dataset],
+    ) -> None:
+        self.lattice = lattice
+        self._grants: Dict[str, PolicyLabel] = {}
+        for grant in grants:
+            if grant.subject in self._grants:
+                raise PolicyError(f"duplicate grant for subject {grant.subject!r}")
+            self._grants[grant.subject] = lattice.require(grant.bound)
+        self._datasets: Dict[str, Dataset] = {}
+        for dataset in datasets:
+            if dataset.name in self._datasets:
+                raise PolicyError(f"duplicate dataset {dataset.name!r}")
+            self._datasets[dataset.name] = dataset
+        for dataset in self._datasets.values():
+            for parent in dataset.parents:
+                if parent not in self._datasets:
+                    raise PolicyError(
+                        f"dataset {dataset.name!r} derives from unknown "
+                        f"dataset {parent!r}"
+                    )
+            for subject in dataset.subjects:
+                if subject not in self._grants:
+                    raise PolicyError(
+                        f"dataset {dataset.name!r} names unknown subject "
+                        f"{subject!r}"
+                    )
+        self._closures: Dict[str, Tuple[str, ...]] = {}
+        for name in self._datasets:
+            self._closure(name, ())
+
+    # -- structure ----------------------------------------------------------
+
+    @property
+    def subjects(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._grants))
+
+    @property
+    def datasets(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._datasets))
+
+    def dataset(self, name: str) -> Dataset:
+        dataset = self._datasets.get(name)
+        if dataset is None:
+            raise PolicyError(f"unknown dataset {name!r}")
+        return dataset
+
+    def grant(self, subject: str) -> PolicyLabel:
+        bound = self._grants.get(subject)
+        if bound is None:
+            raise PolicyError(f"unknown subject {subject!r}")
+        return bound
+
+    def set_grant(self, subject: str, bound: PolicyLabel) -> None:
+        """Re-bound ``subject`` — a fresh consent grant or a revocation.
+
+        Revoking a purpose/recipient is granting a *smaller* label; a full
+        revocation is granting ``lattice.bottom``."""
+        if subject not in self._grants:
+            raise PolicyError(f"unknown subject {subject!r}")
+        self._grants[subject] = self.lattice.require(bound)
+
+    def contributing_subjects(self, dataset: str) -> Tuple[str, ...]:
+        """Every subject in ``dataset``'s transitive lineage, sorted."""
+        closure = self._closures.get(dataset)
+        if closure is None:
+            raise PolicyError(f"unknown dataset {dataset!r}")
+        return closure
+
+    def _closure(self, name: str, stack: Tuple[str, ...]) -> Tuple[str, ...]:
+        cached = self._closures.get(name)
+        if cached is not None:
+            return cached
+        if name in stack:
+            cycle = " -> ".join(stack + (name,))
+            raise PolicyError(f"dataset lineage is cyclic: {cycle}")
+        dataset = self._datasets[name]
+        subjects = set(dataset.subjects)
+        for parent in dataset.parents:
+            subjects.update(self._closure(parent, stack + (name,)))
+        closure = tuple(sorted(subjects))
+        self._closures[name] = closure
+        return closure
+
+    # -- semantics ----------------------------------------------------------
+
+    def effective_bound(self, dataset: str) -> PolicyLabel:
+        """Meet of the grants over the dataset's lineage closure.
+
+        A dataset with no contributing subjects carries no personal data
+        and is bounded only by ``top`` (anything is permitted)."""
+        lattice = self.lattice
+        bound = lattice.top
+        for subject in self.contributing_subjects(dataset):
+            bound = lattice.meet(bound, self._grants[subject])
+        return bound
+
+    def demand(self, request: Request) -> PolicyLabel:
+        """The label a request demands (validated against the lattice)."""
+        try:
+            return self.lattice.label(
+                [request.purpose], [request.recipient], request.retention
+            )
+        except Exception as exc:
+            raise PolicyError(
+                f"{request.describe()} demands labels outside lattice "
+                f"{self.lattice.name!r}: {exc}"
+            ) from exc
+
+    def grants(self) -> Mapping[str, PolicyLabel]:
+        """A read-only view of the current grant table."""
+        return dict(self._grants)

@@ -10,6 +10,7 @@ constraints).
 """
 
 from repro.synth.constraints import constraint_label_count, mega_constraint_system
+from repro.synth.policy_traffic import TrafficEvent, policy_traffic, scenario_universe
 from repro.synth.programs import (
     chain_pipeline_program,
     deep_dataflow_program,
@@ -24,8 +25,11 @@ __all__ = [
     "constraint_label_count",
     "deep_dataflow_program",
     "mega_constraint_system",
+    "policy_traffic",
     "random_straightline_program",
     "scc_cycle_program",
+    "scenario_universe",
     "sharded_dataflow_program",
+    "TrafficEvent",
     "wide_table_program",
 ]

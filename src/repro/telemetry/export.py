@@ -213,8 +213,11 @@ def format_trace_summary(recorder: TraceRecorder) -> str:
     if recorder.histograms:
         lines.append("-- histograms --")
         for name, histogram in sorted(recorder.histograms.items()):
+            quantiles = histogram.percentiles()
             lines.append(
                 f"  {name:<48} n={histogram.count} mean={histogram.mean:.1f} "
-                f"min={histogram.minimum} max={histogram.maximum}"
+                f"min={histogram.minimum} max={histogram.maximum} "
+                f"p50={quantiles['p50']:.1f} p95={quantiles['p95']:.1f} "
+                f"p99={quantiles['p99']:.1f}"
             )
     return "\n".join(lines)

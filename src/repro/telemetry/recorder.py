@@ -112,6 +112,38 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> Optional[float]:
+        """The ``q``-th percentile estimated from the power-of-two buckets.
+
+        Observations inside a bucket ``(2**(k-1), 2**k]`` are assumed
+        uniformly distributed, so the estimate interpolates linearly within
+        the bucket the target rank falls in, then clamps to the exactly
+        tracked ``[min, max]`` envelope.  ``None`` on an empty histogram.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q!r}")
+        if self.count == 0:
+            return None
+        assert self.minimum is not None and self.maximum is not None
+        target = q / 100.0 * self.count
+        cumulative = 0
+        for bound, occupancy in sorted(self.buckets.items()):
+            below = cumulative
+            cumulative += occupancy
+            if cumulative >= target:
+                lower = bound / 2.0 if bound > 1 else 0.0
+                estimate = lower + (bound - lower) * (target - below) / occupancy
+                return min(max(estimate, self.minimum), self.maximum)
+        return self.maximum
+
+    def percentiles(self) -> Dict[str, Optional[float]]:
+        """The standard latency trio (p50/p95/p99) as one dict."""
+        return {
+            "p50": self.percentile(50.0),
+            "p95": self.percentile(95.0),
+            "p99": self.percentile(99.0),
+        }
+
     def as_dict(self) -> Dict[str, Any]:
         return {
             "count": self.count,
@@ -119,6 +151,7 @@ class Histogram:
             "min": self.minimum,
             "max": self.maximum,
             "mean": self.mean,
+            **self.percentiles(),
             "buckets": {str(bound): n for bound, n in sorted(self.buckets.items())},
         }
 

@@ -306,6 +306,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     arguments = list(sys.argv[1:] if argv is None else argv)
     if arguments and arguments[0] == "serve":
         return serve_main(arguments[1:])
+    if arguments and arguments[0] == "policy":
+        from repro.policy.cli import policy_main
+
+        return policy_main(arguments[1:])
     parser = build_arg_parser()
     args = parser.parse_args(arguments)
     if args.infer and args.core_only:
@@ -370,6 +374,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 filename=str(path),
                 name=path.stem,
             )
+        if args.backend == "packed":
+            stats = (
+                report.inference_result.solution.stats
+                if report.inference_result is not None
+                else None
+            )
+            if stats is not None and stats.backend != "packed" and stats.fallback_reason:
+                # Silent fallback would let a benchmark read graph numbers
+                # as packed numbers; always say so, once, on stderr.
+                print(
+                    f"p4bid: note: {file_name}: packed backend fell back to "
+                    f"{stats.backend} -- {stats.fallback_reason}",
+                    file=sys.stderr,
+                )
         if args.sarif:
             sarif_artifacts.append((str(path), _collect_findings(report, path)))
         if args.json:

@@ -23,6 +23,19 @@ Methods (``params`` is always an object):
 ``stats``             workspace/cache/solver counters snapshot
 ``save`` / ``load``   ``{path}`` -- persist / restore the solved state
 ``shutdown``          acknowledge and close the session
+``policy.open``       ``{lattice?, subjects?, datasets?, events?,
+                      revoke_every?, seed?, backend?}`` -- build the
+                      deterministic compliance scenario + decision engine
+``policy.decide``     ``{dataset, purpose, recipient, retention, kind?}``
+                      or ``{request: uid}`` -- one permit/deny decision
+``policy.explain``    same params -- decision plus shortest
+                      policy-violation chains on a deny
+``policy.grant``      ``{subject, label}`` -- consent grant/revocation
+                      (``label`` parsed by the policy lattice; ``"bot"``
+                      revokes everything)
+``policy.replay``     ``{limit?, log?}`` -- replay the scenario stream,
+                      returning throughput/latency and optionally the log
+``policy.stats``      engine counters (decisions, permits, denies, ...)
 ====================  =====================================================
 
 Error codes follow the JSON-RPC 2.0 spec: ``-32700`` parse error,
@@ -75,6 +88,9 @@ class WorkspaceServer:
         }
         self.workspace = self._new_workspace()
         self.running = True
+        #: The compliance session: ``(engine, events)`` after ``policy.open``.
+        self._policy = None
+        self._policy_next_uid = 0
         self._methods = {
             "ping": self._ping,
             "open": self._open,
@@ -89,6 +105,12 @@ class WorkspaceServer:
             "save": self._save,
             "load": self._load,
             "shutdown": self._shutdown,
+            "policy.open": self._policy_open,
+            "policy.decide": self._policy_decide,
+            "policy.explain": self._policy_explain,
+            "policy.grant": self._policy_grant,
+            "policy.replay": self._policy_replay,
+            "policy.stats": self._policy_stats,
         }
 
     def _new_workspace(self) -> Workspace:
@@ -270,6 +292,169 @@ class WorkspaceServer:
     def _shutdown(self, params: Dict[str, Any]) -> Dict[str, Any]:
         self.running = False
         return {"ok": True}
+
+    # ------------------------------------------------------------- policy.*
+
+    def _policy_session(self):
+        if self._policy is None:
+            raise _RpcError(
+                WORKSPACE_ERROR, "no policy session open; call policy.open first"
+            )
+        return self._policy
+
+    def _policy_open(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        from repro.lattice.base import LatticeError
+        from repro.lattice.policy import PolicyLattice
+        from repro.lattice.registry import get_lattice
+        from repro.policy.engine import PolicyEngine
+        from repro.policy.model import PolicyError
+        from repro.synth.policy_traffic import policy_traffic, scenario_universe
+
+        name = params.get("lattice", "policy-mini")
+        if not isinstance(name, str):
+            raise _RpcError(INVALID_PARAMS, "lattice must be a string")
+        backend = params.get("backend", "auto")
+        if backend not in ("auto", "packed", "graph"):
+            raise _RpcError(
+                INVALID_PARAMS, "backend must be 'auto', 'packed' or 'graph'"
+            )
+        sizes = {}
+        for key, default in (
+            ("subjects", 24),
+            ("datasets", 12),
+            ("events", 1000),
+            ("revoke_every", 200),
+            ("seed", 0),
+        ):
+            value = params.get(key, default)
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise _RpcError(INVALID_PARAMS, f"{key} must be an integer")
+            sizes[key] = value
+        try:
+            lattice = get_lattice(name)
+            if not isinstance(lattice, PolicyLattice):
+                raise _RpcError(
+                    INVALID_PARAMS,
+                    f"lattice {name!r} is not a policy lattice; use "
+                    f"policy-mini or policy-P-R-T",
+                )
+            universe = scenario_universe(
+                lattice,
+                subjects=sizes["subjects"],
+                datasets=sizes["datasets"],
+                seed=sizes["seed"],
+            )
+            events = policy_traffic(
+                universe,
+                events=sizes["events"],
+                revoke_every=sizes["revoke_every"],
+                seed=sizes["seed"],
+            )
+            engine = PolicyEngine(universe, backend=backend)
+        except _RpcError:
+            raise
+        except (PolicyError, ValueError, LatticeError) as exc:
+            raise _RpcError(WORKSPACE_ERROR, f"policy.open failed: {exc}")
+        self._policy = (engine, events)
+        self._policy_next_uid = sizes["events"]
+        return {
+            "opened": True,
+            "events": len(events),
+            **engine.stats(),
+        }
+
+    def _policy_request(self, params: Dict[str, Any]):
+        from repro.policy.model import Request
+
+        engine, events = self._policy_session()
+        if "request" in params:
+            uid = params["request"]
+            if not isinstance(uid, int) or isinstance(uid, bool):
+                raise _RpcError(INVALID_PARAMS, "request must be an event uid")
+            for event in events:
+                if event.uid == uid and event.request is not None:
+                    return engine, event.request
+            raise _RpcError(
+                INVALID_PARAMS, f"event {uid} is not a request of this stream"
+            )
+        fields = {}
+        for key in ("dataset", "purpose", "recipient", "retention"):
+            fields[key] = self._require(params, key)
+        kind = params.get("kind", "adhoc")
+        if not isinstance(kind, str):
+            raise _RpcError(INVALID_PARAMS, "kind must be a string")
+        uid = self._policy_next_uid
+        self._policy_next_uid += 1
+        return engine, Request(uid, kind=kind, **fields)
+
+    def _policy_decide(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        from repro.policy.model import PolicyError
+
+        engine, request = self._policy_request(params)
+        try:
+            decision = engine.decide(request)
+        except PolicyError as exc:
+            raise _RpcError(WORKSPACE_ERROR, str(exc))
+        return decision.as_dict(engine)
+
+    def _policy_explain(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        from repro.policy.model import PolicyError
+
+        engine, request = self._policy_request(params)
+        try:
+            explanation = engine.explain(request)
+        except PolicyError as exc:
+            raise _RpcError(WORKSPACE_ERROR, str(exc))
+        lattice = engine.universe.lattice
+        return {
+            "decision": explanation.decision.as_dict(engine),
+            "violated_subjects": list(explanation.violated_subjects),
+            "witnesses": [
+                witness.describe(lattice).splitlines()
+                for witness in explanation.witnesses
+            ],
+        }
+
+    def _policy_grant(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        from repro.lattice.base import LatticeError
+        from repro.policy.model import PolicyError
+
+        engine, _ = self._policy_session()
+        subject = self._require(params, "subject")
+        label_text = self._require(params, "label")
+        lattice = engine.universe.lattice
+        try:
+            bound = lattice.parse_label(label_text)
+        except LatticeError as exc:
+            raise _RpcError(INVALID_PARAMS, str(exc))
+        try:
+            affected = engine.set_grant(subject, bound)
+        except PolicyError as exc:
+            raise _RpcError(WORKSPACE_ERROR, str(exc))
+        return {
+            "subject": subject,
+            "bound": lattice.format_label(bound),
+            "recompiled_datasets": list(affected),
+        }
+
+    def _policy_replay(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        from repro.policy.stream import replay
+
+        engine, events = self._policy_session()
+        limit = params.get("limit")
+        if limit is not None and (
+            not isinstance(limit, int) or isinstance(limit, bool) or limit < 1
+        ):
+            raise _RpcError(INVALID_PARAMS, "limit must be a positive integer")
+        report = replay(engine, events[:limit] if limit else events)
+        payload = report.as_dict()
+        if params.get("log"):
+            payload["log"] = report.decision_log()
+        return payload
+
+    def _policy_stats(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        engine, events = self._policy_session()
+        return {"events": len(events), **engine.stats()}
 
 
 def serve_stdio(

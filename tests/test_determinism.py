@@ -112,3 +112,67 @@ def test_packed_backend_is_worker_count_stable():
     for workers in (2, 4):
         output = _run("0", backend="packed", workers=workers)
         assert output == baseline, f"workers={workers} changed packed output"
+
+
+#: The compliance workload end to end: scenario generation, replay
+#: decisions, one deny explained with witness chains.  Every line printed
+#: is part of the byte-stability contract BENCH_policy.json's differential
+#: guard relies on.
+POLICY_SCRIPT = """\
+import sys
+
+from repro.lattice.registry import get_lattice
+from repro.policy import PolicyEngine, replay
+from repro.synth import policy_traffic, scenario_universe
+
+backend = sys.argv[1] if len(sys.argv) > 1 else "packed"
+workers = int(sys.argv[2]) if len(sys.argv) > 2 else 1
+lattice = get_lattice("policy-12-8-4")
+universe = scenario_universe(lattice, subjects=10, datasets=14, seed=7)
+events = policy_traffic(universe, events=150, revoke_every=30, seed=7)
+engine = PolicyEngine(universe, backend=backend)
+report = replay(engine, events)
+for line in report.decision_log():
+    print(line)
+denied = next(d for d in report.decisions if not d.permit)
+explanation = engine.explain(denied.request)
+print(explanation.describe(engine))
+solution = engine.audit(
+    [d.request for d in report.decisions[:40]], backend=backend, workers=workers
+)
+for conflict in solution.conflicts:
+    print("conflict:", conflict.constraint.describe())
+"""
+
+
+def _run_policy(seed: str, backend: str = "packed", workers: int = 1) -> str:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = seed
+    env["PYTHONPATH"] = str(SRC_DIR)
+    completed = subprocess.run(
+        [sys.executable, "-c", POLICY_SCRIPT, backend, str(workers)],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    return completed.stdout
+
+
+def test_policy_decisions_and_witnesses_are_hashseed_stable():
+    """Policy decision logs, deny explanations, and audit conflicts are
+    byte-identical across hash seeds, backends, and worker counts -- the
+    powerset components of a policy label are frozensets, so any unsorted
+    iteration would surface here."""
+    baseline = _run_policy("0", backend="packed")
+    assert " DENY " in baseline and " PERMIT " in baseline
+    assert "leak path" in baseline
+    for seed in ("1", "42"):
+        output = _run_policy(seed, backend="packed")
+        assert output == baseline, f"PYTHONHASHSEED={seed} changed policy output"
+    assert _run_policy("0", backend="graph") == baseline, (
+        "graph backend diverged from packed on the policy workload"
+    )
+    assert _run_policy("0", backend="packed", workers=2) == baseline, (
+        "worker pool changed policy audit output"
+    )

@@ -381,6 +381,18 @@ def test_solver_computes_the_least_solution(data, name):
 _PROGRAM_LEVELS = {
     "two-point": ["low", "high"],
     "diamond": ["bot", "A", "top"],
+    # A maximal chain through the policy lattice: add one purpose, one
+    # recipient, one retention rank at a time (canonical spellings are
+    # identifier-safe by construction).
+    "policy-mini": [
+        "P__R__t0",
+        "Pads__R__t0",
+        "Pads_analytics__R__t0",
+        "Pads_analytics__Rpartner__t0",
+        "Pads_analytics__Rpartner_store__t0",
+        "Pads_analytics__Rpartner_store__t1",
+        "Pads_analytics__Rpartner_store__t2",
+    ],
 }
 
 

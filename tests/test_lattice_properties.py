@@ -8,6 +8,7 @@ from repro.lattice import (
     PowersetLattice,
     ProductLattice,
     TwoPointLattice,
+    mini_policy_lattice,
 )
 
 LATTICES = [
@@ -16,6 +17,7 @@ LATTICES = [
     ChainLattice.of_height(5),
     PowersetLattice(["a", "b", "c"]),
     ProductLattice(TwoPointLattice(), DiamondLattice()),
+    mini_policy_lattice(),
 ]
 
 

@@ -171,6 +171,17 @@ def test_packed_is_worker_count_invariant(data, name):
 _PROGRAM_LEVELS = {
     "two-point": ["low", "high"],
     "diamond": ["bot", "A", "top"],
+    # A maximal chain through the policy lattice (canonical spellings are
+    # identifier-safe by construction).
+    "policy-mini": [
+        "P__R__t0",
+        "Pads__R__t0",
+        "Pads_analytics__R__t0",
+        "Pads_analytics__Rpartner__t0",
+        "Pads_analytics__Rpartner_store__t0",
+        "Pads_analytics__Rpartner_store__t1",
+        "Pads_analytics__Rpartner_store__t2",
+    ],
 }
 
 

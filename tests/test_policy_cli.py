@@ -1,0 +1,126 @@
+"""The ``p4bid policy`` verbs: exit codes, JSON shapes, determinism."""
+
+import json
+
+import pytest
+
+import repro.policy.cli as policy_cli
+from repro.policy.cli import policy_main
+from repro.tool.cli import main
+
+SMALL = [
+    "--subjects", "6",
+    "--datasets", "8",
+    "--events", "80",
+    "--revoke-every", "25",
+    "--seed", "0",
+]
+
+
+class TestCheck:
+    def test_exit_zero_and_summary(self, capsys):
+        assert policy_main(["check", *SMALL]) == 0
+        out = capsys.readouterr().out
+        assert "checks/sec" in out and "policy-mini" in out
+
+    def test_json_payload(self, capsys):
+        assert policy_main(["check", "--json", "--log", *SMALL]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["lattice"] == "policy-mini"
+        assert payload["events"] == 80
+        assert payload["decisions"] == len(payload["log"])
+        assert set(payload["latency_us"]) == {"mean", "p50", "p95", "p99", "max"}
+
+    def test_log_is_deterministic_across_backends(self, capsys):
+        logs = {}
+        for backend in ("packed", "graph"):
+            assert (
+                policy_main(["check", "--json", "--log", "--backend", backend, *SMALL])
+                == 0
+            )
+            payload = json.loads(capsys.readouterr().out)
+            assert payload["backend"] == backend
+            logs[backend] = payload["log"]
+        assert logs["packed"] == logs["graph"]
+
+    def test_fallback_notice_when_codec_unavailable(self, capsys, monkeypatch):
+        import repro.policy.engine as engine_module
+
+        monkeypatch.setattr(engine_module, "codec_for", lambda lattice: None)
+        assert policy_main(["check", "--backend", "packed", *SMALL]) == 0
+        err = capsys.readouterr().err
+        assert "packed decisions unavailable" in err
+
+    def test_dispatched_from_p4bid_main(self, capsys):
+        assert main(["policy", "check", *SMALL]) == 0
+        assert "checks/sec" in capsys.readouterr().out
+
+
+class TestBench:
+    def test_compares_backends(self, capsys):
+        assert policy_main(["bench", "--json", *SMALL]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["decisions_identical"] is True
+        assert payload["packed"]["backend"] == "packed"
+        assert payload["graph"]["backend"] == "graph"
+        assert payload["speedup"] > 0.0
+
+    def test_without_codec_is_usage_error(self, capsys, monkeypatch):
+        import repro.policy.engine as engine_module
+
+        monkeypatch.setattr(engine_module, "codec_for", lambda lattice: None)
+        assert policy_main(["bench", *SMALL]) == 2
+        assert "packed-codec lattice" in capsys.readouterr().err
+
+
+class TestExplain:
+    def deny_uid(self, capsys):
+        """A uid of the stream that is denied (the scenario mix has some)."""
+        assert policy_main(["check", "--json", "--log", *SMALL]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        for line in payload["log"]:
+            uid, _, rest = line.partition(" ")
+            if " DENY " in f" {rest} " or " DENY " in line:
+                return int(uid)
+        pytest.fail("scenario stream produced no denies")
+
+    def test_denied_request_prints_witness_chain(self, capsys):
+        uid = self.deny_uid(capsys)
+        assert policy_main(["explain", "--request", str(uid), *SMALL]) == 0
+        out = capsys.readouterr().out
+        assert "DENY" in out and "leak path" in out
+
+    def test_deny_exit_flag(self, capsys):
+        uid = self.deny_uid(capsys)
+        assert (
+            policy_main(["explain", "--request", str(uid), "--deny-exit", *SMALL])
+            == 1
+        )
+
+    def test_json_shape(self, capsys):
+        uid = self.deny_uid(capsys)
+        assert policy_main(["explain", "--json", "--request", str(uid), *SMALL]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["decision"]["permit"] is False
+        assert payload["violated_subjects"]
+        assert payload["witnesses"]
+
+    def test_unknown_uid_is_usage_error(self, capsys):
+        assert policy_main(["explain", "--request", "99999", *SMALL]) == 2
+        assert "not a request" in capsys.readouterr().err
+
+
+class TestUsageErrors:
+    def test_non_policy_lattice(self, capsys):
+        assert policy_main(["check", "--lattice", "two-point", *SMALL[2:]]) == 2
+        assert "not a policy lattice" in capsys.readouterr().err
+
+    def test_bad_sizes(self):
+        with pytest.raises(SystemExit):
+            policy_main(["check", "--subjects", "0"])
+        with pytest.raises(SystemExit):
+            policy_main(["check", "--revoke-every", "-1"])
+
+    def test_verb_required(self):
+        with pytest.raises(SystemExit):
+            policy_main([])

@@ -110,6 +110,57 @@ class TestRecorder:
         rec.observe("pops", 6)
         assert rec.histograms["pops"].count == 2
 
+    def test_percentile_on_empty_histogram_is_none(self):
+        hist = Histogram()
+        assert hist.percentile(50.0) is None
+        assert hist.percentiles() == {"p50": None, "p95": None, "p99": None}
+
+    def test_percentile_rejects_out_of_range(self):
+        hist = Histogram()
+        hist.record(1)
+        with pytest.raises(ValueError):
+            hist.percentile(-1.0)
+        with pytest.raises(ValueError):
+            hist.percentile(100.5)
+
+    def test_percentile_single_bucket_clamps_to_envelope(self):
+        hist = Histogram()
+        hist.record(5)
+        # One observation: every percentile is that observation.
+        assert hist.percentile(1.0) == 5
+        assert hist.percentile(50.0) == 5
+        assert hist.percentile(99.0) == 5
+
+    def test_percentiles_are_monotone_and_bounded(self):
+        hist = Histogram()
+        for value in range(1, 201):
+            hist.record(value)
+        quantiles = [hist.percentile(q) for q in (10, 25, 50, 75, 90, 95, 99)]
+        assert quantiles == sorted(quantiles)
+        for quantile in quantiles:
+            assert hist.minimum <= quantile <= hist.maximum
+        # The bucket interpolation tracks the true quantile to within the
+        # resolution of a power-of-two bucket (a factor of two).
+        assert hist.percentile(50.0) == pytest.approx(100, rel=1.0)
+
+    def test_percentile_interpolates_within_a_bucket(self):
+        hist = Histogram()
+        for _ in range(100):
+            hist.record(100)  # all in the (64, 128] bucket
+        # Uniform-within-bucket assumption, then clamped to [min, max].
+        assert hist.percentile(50.0) == 100
+        assert hist.percentile(99.0) == 100
+
+    def test_percentiles_surface_in_as_dict(self):
+        hist = Histogram()
+        for value in (1, 3, 7, 100):
+            hist.record(value)
+        payload = hist.as_dict()
+        assert set(payload) >= {"p50", "p95", "p99"}
+        assert payload["p50"] is not None
+        assert payload["p50"] <= payload["p95"] <= payload["p99"]
+        assert payload["p99"] <= hist.maximum
+
     def test_add_span_is_anchored_under_parent(self):
         rec = TraceRecorder()
         with rec.span("phase.infer") as parent:
@@ -243,6 +294,16 @@ class TestExporters:
         assert "pipeline.check" in text
         assert "  phase.core" in text  # indented under the root
         assert "solver.worklist_pops" in text
+
+    def test_summary_and_metrics_surface_percentiles(self):
+        rec = TraceRecorder()
+        for value in (1, 3, 7, 100):
+            rec.observe("solver.pops_per_component", value)
+        text = format_trace_summary(rec)
+        assert "p50=" in text and "p95=" in text and "p99=" in text
+        payload = metrics_dict(rec)["histograms"]["solver.pops_per_component"]
+        assert payload["p50"] is not None
+        assert payload["p50"] <= payload["p95"] <= payload["p99"]
 
     def test_summary_aggregates_large_sibling_groups(self):
         rec = TraceRecorder()

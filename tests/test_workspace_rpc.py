@@ -109,6 +109,210 @@ class TestProtocol:
         assert result_of(server, "shutdown") == {"ok": True}
         assert server.running is False
 
+    def test_error_responses_echo_the_request_id(self):
+        """Every error kind (except parse errors, where no id is
+        recoverable) must carry the caller's id -- including string ids --
+        so concurrent clients can correlate failures."""
+        server = WorkspaceServer()
+        for request_id in (42, "req-abc"):
+            for method, params, code in (
+                ("frobnicate", None, METHOD_NOT_FOUND),
+                ("open", {}, INVALID_PARAMS),
+                ("pin", {"slot": "s", "label": "high"}, WORKSPACE_ERROR),
+                ("policy.decide", {"request": 0}, WORKSPACE_ERROR),
+            ):
+                response = call(server, method, params, request_id=request_id)
+                assert response["error"]["code"] == code, (method, response)
+                assert response["id"] == request_id
+
+    def test_parse_error_has_null_id(self):
+        server = WorkspaceServer()
+        response = json.loads(server.handle_line('{"id": 9, "method": '))
+        assert response["error"]["code"] == PARSE_ERROR
+        assert response["id"] is None
+
+    def test_failing_notifications_still_report_the_error(self):
+        # A notification (no id) that cannot be dispatched gets an error
+        # response with a null id, so the failure is never swallowed.
+        server = WorkspaceServer()
+        line = json.dumps({"jsonrpc": "2.0", "method": "frobnicate"})
+        response = json.loads(server.handle_line(line))
+        assert response["error"]["code"] == METHOD_NOT_FOUND
+        assert response["id"] is None
+
+
+class TestPolicyMethods:
+    def open_session(self, server, **params):
+        defaults = {
+            "lattice": "policy-mini",
+            "subjects": 6,
+            "datasets": 8,
+            "events": 60,
+            "revoke_every": 20,
+            "seed": 0,
+        }
+        defaults.update(params)
+        return result_of(server, "policy.open", defaults)
+
+    def test_methods_require_an_open_session(self):
+        server = WorkspaceServer()
+        for method, params in (
+            ("policy.decide", {"request": 0}),
+            ("policy.explain", {"request": 0}),
+            ("policy.grant", {"subject": "s0", "label": "bot"}),
+            ("policy.replay", {}),
+            ("policy.stats", {}),
+        ):
+            response = call(server, method, params)
+            assert response["error"]["code"] == WORKSPACE_ERROR
+            assert "policy.open" in response["error"]["message"]
+
+    def test_open_reports_engine_stats(self):
+        server = WorkspaceServer()
+        opened = self.open_session(server)
+        assert opened["opened"] is True
+        assert opened["events"] == 60
+        assert opened["lattice"] == "policy-mini"
+        assert opened["backend"] == "packed"
+        assert opened["subjects"] == 6 and opened["datasets"] == 8
+
+    def test_open_rejects_non_policy_lattice_and_bad_sizes(self):
+        server = WorkspaceServer()
+        response = call(server, "policy.open", {"lattice": "two-point"})
+        assert response["error"]["code"] == INVALID_PARAMS
+        response = call(server, "policy.open", {"lattice": "no-such"})
+        assert response["error"]["code"] == WORKSPACE_ERROR
+        response = call(server, "policy.open", {"subjects": "many"})
+        assert response["error"]["code"] == INVALID_PARAMS
+        response = call(server, "policy.open", {"backend": "quantum"})
+        assert response["error"]["code"] == INVALID_PARAMS
+        response = call(server, "policy.open", {"subjects": 0})
+        assert response["error"]["code"] == WORKSPACE_ERROR
+
+    def test_decide_by_stream_uid_and_adhoc(self):
+        server = WorkspaceServer()
+        self.open_session(server)
+        by_uid = result_of(server, "policy.decide", {"request": 1})
+        assert by_uid["request"] == 1
+        assert isinstance(by_uid["permit"], bool)
+        assert set(by_uid) == {
+            "request", "kind", "dataset", "permit", "demand", "bound", "backend",
+        }
+        adhoc = result_of(
+            server,
+            "policy.decide",
+            {
+                "dataset": "raw0",
+                "purpose": "analytics",
+                "recipient": "store",
+                "retention": "t0",
+            },
+        )
+        assert adhoc["kind"] == "adhoc"
+        assert adhoc["request"] == 60  # uids continue after the stream
+        # Unknown labels are an application error, not a crash.
+        response = call(
+            server,
+            "policy.decide",
+            {
+                "dataset": "raw0",
+                "purpose": "nope",
+                "recipient": "store",
+                "retention": "t0",
+            },
+        )
+        assert response["error"]["code"] == WORKSPACE_ERROR
+
+    def test_decide_rejects_bad_request_params(self):
+        server = WorkspaceServer()
+        self.open_session(server)
+        response = call(server, "policy.decide", {"request": "one"})
+        assert response["error"]["code"] == INVALID_PARAMS
+        response = call(server, "policy.decide", {"request": 10_000})
+        assert response["error"]["code"] == INVALID_PARAMS
+        response = call(server, "policy.decide", {"dataset": "raw0"})
+        assert response["error"]["code"] == INVALID_PARAMS
+
+    def test_grant_then_decide_flips_to_deny(self):
+        server = WorkspaceServer()
+        self.open_session(server)
+        params = {
+            "dataset": "raw0",
+            "purpose": "analytics",
+            "recipient": "store",
+            "retention": "t0",
+        }
+        before = result_of(server, "policy.decide", dict(params))
+        granted = result_of(
+            server, "policy.grant", {"subject": "s0", "label": "bot"}
+        )
+        assert granted["subject"] == "s0"
+        assert "raw0" in granted["recompiled_datasets"]
+        after = result_of(server, "policy.decide", dict(params))
+        assert after["permit"] is False
+        assert before["bound"] != after["bound"]
+        # Unparseable labels are invalid params.
+        response = call(
+            server, "policy.grant", {"subject": "s0", "label": "???"}
+        )
+        assert response["error"]["code"] == INVALID_PARAMS
+        response = call(
+            server, "policy.grant", {"subject": "ghost", "label": "bot"}
+        )
+        assert response["error"]["code"] == WORKSPACE_ERROR
+
+    def test_explain_deny_carries_witnesses(self):
+        server = WorkspaceServer()
+        self.open_session(server)
+        result_of(server, "policy.grant", {"subject": "s0", "label": "bot"})
+        explained = result_of(
+            server,
+            "policy.explain",
+            {
+                "dataset": "raw0",
+                "purpose": "analytics",
+                "recipient": "store",
+                "retention": "t0",
+            },
+        )
+        assert explained["decision"]["permit"] is False
+        assert explained["violated_subjects"] == ["s0"]
+        assert explained["witnesses"]
+        assert all(
+            isinstance(line, str)
+            for witness in explained["witnesses"]
+            for line in witness
+        )
+
+    def test_replay_returns_report_and_optional_log(self):
+        server = WorkspaceServer()
+        self.open_session(server)
+        payload = result_of(server, "policy.replay", {"limit": 30, "log": True})
+        assert payload["events"] == 30
+        assert payload["decisions"] + payload["revocations"] == 30
+        assert len(payload["log"]) == payload["decisions"]
+        assert payload["checks_per_sec"] > 0
+        assert set(payload["latency_us"]) == {"mean", "p50", "p95", "p99", "max"}
+        response = call(server, "policy.replay", {"limit": 0})
+        assert response["error"]["code"] == INVALID_PARAMS
+
+    def test_stats_accumulate(self):
+        server = WorkspaceServer()
+        self.open_session(server)
+        result_of(server, "policy.decide", {"request": 1})
+        result_of(server, "policy.replay", {"limit": 10})
+        stats = result_of(server, "policy.stats", {})
+        assert stats["events"] == 60
+        assert stats["decisions"] >= 11
+        assert stats["permits"] + stats["denies"] == stats["decisions"]
+
+    def test_policy_session_is_independent_of_workspace(self):
+        server = WorkspaceServer()
+        self.open_session(server)
+        result_of(server, "open", {"source": SECURE, "filename": "<input>"})
+        assert result_of(server, "infer")["ok"] is True
+        assert result_of(server, "policy.stats", {})["events"] == 60
+
 
 class TestServedAnswers:
     def test_open_check_matches_one_shot_pipeline(self):
